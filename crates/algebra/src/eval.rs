@@ -1,0 +1,634 @@
+//! The tabular algebra interpreter (paper §3.6).
+//!
+//! Statements execute consecutively against the database. An assignment
+//! statement runs its operation once for every combination of tables whose
+//! names match its argument parameters (all tables for unary operations,
+//! all ordered pairs for binary ones, the whole name-group at once for
+//! `COLLAPSE`); the results, named by the target parameter, then *replace*
+//! the tables previously carrying those names. The replace semantics is
+//! the standard assignment reading and is what makes `while R ≠ ∅` able to
+//! terminate; the paper's remark that the database "is augmented during
+//! the computation" refers to the set of *names* growing as scratch tables
+//! are produced.
+//!
+//! [`EvalLimits`] bounds `while` iterations and `set-new` materialization,
+//! so programs fail cleanly instead of diverging; the limits are
+//! engineering guards, not semantics (DESIGN.md §4).
+
+use crate::error::{AlgebraError, Result};
+use crate::ops;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use crate::param::{denote_set, denote_single, denote_target, match_name, Bindings};
+use crate::program::{Assignment, OpKind, Program, Statement};
+use tabular_core::{Database, Symbol, SymbolSet, Table};
+
+/// Resource bounds for program evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalLimits {
+    /// Maximum iterations of any single `while` loop.
+    pub max_while_iters: usize,
+    /// Maximum rows `set-new` may materialize.
+    pub max_setnew_rows: usize,
+    /// Maximum number of tables in the database.
+    pub max_tables: usize,
+    /// Maximum cells in any produced table.
+    pub max_cells: usize,
+    /// Evaluate a statement's per-table applications on multiple threads
+    /// once at least this many tables match (wildcard statements over
+    /// SalesInfo4-style databases). `usize::MAX` disables parallelism.
+    /// Operations are pure, so the only visible difference is the choice
+    /// of fresh tag values — determinacy up to isomorphism, as in §4.1
+    /// condition (iv).
+    pub parallel_threshold: usize,
+}
+
+impl Default for EvalLimits {
+    fn default() -> Self {
+        EvalLimits {
+            max_while_iters: 10_000,
+            max_setnew_rows: 1 << 20,
+            max_tables: 100_000,
+            max_cells: 1 << 28,
+            parallel_threshold: 64,
+        }
+    }
+}
+
+/// Execution statistics collected by [`run_with_stats`]: how often each
+/// operation ran, the wall time it took, and the shape of what it
+/// produced — the observability hook behind the benchmark analyses in
+/// EXPERIMENTS.md.
+#[derive(Clone, Debug, Default)]
+pub struct EvalStats {
+    /// Assignment executions per operation keyword.
+    pub op_counts: BTreeMap<&'static str, usize>,
+    /// Wall time per operation keyword, in microseconds.
+    pub op_micros: BTreeMap<&'static str, u128>,
+    /// Total `while` loop iterations.
+    pub while_iterations: usize,
+    /// Tables produced across all statements (before set-dedup).
+    pub tables_produced: usize,
+    /// Largest table produced, in cells.
+    pub max_table_cells: usize,
+}
+
+impl EvalStats {
+    /// Operations sorted by descending total time.
+    pub fn hottest(&self) -> Vec<(&'static str, u128, usize)> {
+        let mut rows: Vec<(&'static str, u128, usize)> = self
+            .op_micros
+            .iter()
+            .map(|(&k, &us)| (k, us, self.op_counts.get(k).copied().unwrap_or(0)))
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+        rows
+    }
+}
+
+/// Evaluate a program against a database, returning the final database
+/// (input tables plus every table produced, with overwritten names
+/// replaced).
+pub fn run(program: &Program, db: &Database, limits: &EvalLimits) -> Result<Database> {
+    Ok(run_with_stats(program, db, limits)?.0)
+}
+
+/// Like [`run`], additionally returning per-operation execution
+/// statistics.
+pub fn run_with_stats(
+    program: &Program,
+    db: &Database,
+    limits: &EvalLimits,
+) -> Result<(Database, EvalStats)> {
+    let mut state = db.clone();
+    let mut stats = EvalStats::default();
+    run_statements(&program.statements, &mut state, limits, &mut stats)?;
+    Ok((state, stats))
+}
+
+/// Evaluate a program and project the result onto the given output names
+/// (paper §3.6: "the names of output tables should be specified as part of
+/// the program, when simulating transformations").
+pub fn run_outputs(
+    program: &Program,
+    db: &Database,
+    outputs: &[Symbol],
+    limits: &EvalLimits,
+) -> Result<Database> {
+    let full = run(program, db, limits)?;
+    let keep: SymbolSet = outputs.iter().copied().collect();
+    let mut out = full;
+    out.retain(|t| keep.contains(t.name()));
+    Ok(out)
+}
+
+fn run_statements(
+    stmts: &[Statement],
+    db: &mut Database,
+    limits: &EvalLimits,
+    stats: &mut EvalStats,
+) -> Result<()> {
+    for stmt in stmts {
+        match stmt {
+            Statement::Assign(a) => {
+                let start = Instant::now();
+                run_assignment(a, db, limits, stats)?;
+                let kw = a.op.keyword();
+                *stats.op_counts.entry(kw).or_default() += 1;
+                *stats.op_micros.entry(kw).or_default() += start.elapsed().as_micros();
+            }
+            Statement::While { cond, body } => {
+                let name = denote_target(cond, &Bindings::new())
+                    .map_err(|_| AlgebraError::BadWhileCondition)?;
+                let mut iters = 0usize;
+                while db
+                    .tables_named(name)
+                    .iter()
+                    .any(|t| t.height() > 0)
+                {
+                    iters += 1;
+                    stats.while_iterations += 1;
+                    if iters > limits.max_while_iters {
+                        return Err(AlgebraError::LimitExceeded {
+                            what: "while iterations",
+                            limit: limits.max_while_iters,
+                            attempted: iters,
+                        });
+                    }
+                    run_statements(body, db, limits, stats)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_assignment(
+    a: &Assignment,
+    db: &mut Database,
+    limits: &EvalLimits,
+    stats: &mut EvalStats,
+) -> Result<()> {
+    let arity = a.op.arity();
+    if a.args.len() != arity {
+        return Err(AlgebraError::Arity {
+            op: a.op.keyword(),
+            expected: arity,
+            got: a.args.len(),
+        });
+    }
+
+    // Collect results over all matching argument combinations, reading the
+    // pre-statement state throughout.
+    let mut results: Vec<Table> = Vec::new();
+
+    match &a.op {
+        // COLLAPSE consumes every matching table of one name collectively.
+        OpKind::Collapse { by } => {
+            let mut names_done: SymbolSet = SymbolSet::new();
+            for t in db.tables() {
+                let Some(bindings) = match_name(&a.args[0], t.name(), &Bindings::new()) else {
+                    continue;
+                };
+                if names_done.contains(t.name()) {
+                    continue;
+                }
+                names_done.insert(t.name());
+                let group: Vec<&Table> = db.tables_named(t.name());
+                let target = denote_target(&a.target, &bindings)?;
+                let by_set = denote_set(by, t, &bindings);
+                results.push(ops::collapse(&group, &by_set, target));
+            }
+        }
+        _ if arity == 1 => {
+            // Gather the matching tables first so the work can fan out.
+            let mut work: Vec<(&Table, Bindings, Symbol)> = Vec::new();
+            for t in db.tables() {
+                let Some(bindings) = match_name(&a.args[0], t.name(), &Bindings::new()) else {
+                    continue;
+                };
+                let target = denote_target(&a.target, &bindings)?;
+                work.push((t, bindings, target));
+            }
+            if work.len() >= limits.parallel_threshold.max(2) {
+                // Purely functional per-table applications: shard across
+                // scoped threads, then splice results back in input order.
+                let shards = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(work.len());
+                let chunk = work.len().div_ceil(shards);
+                let outputs: Vec<Result<Vec<Table>>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = work
+                        .chunks(chunk)
+                        .map(|slice| {
+                            scope.spawn(move || {
+                                let mut local = Vec::new();
+                                for (t, bindings, target) in slice {
+                                    apply_unary(
+                                        &a.op, t, *target, bindings, limits, &mut local,
+                                    )?;
+                                }
+                                Ok(local)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("evaluation threads do not panic"))
+                        .collect()
+                });
+                for out in outputs {
+                    results.extend(out?);
+                }
+            } else {
+                for (t, bindings, target) in &work {
+                    apply_unary(&a.op, t, *target, bindings, limits, &mut results)?;
+                }
+            }
+        }
+        _ => {
+            for t1 in db.tables() {
+                let Some(b1) = match_name(&a.args[0], t1.name(), &Bindings::new()) else {
+                    continue;
+                };
+                for t2 in db.tables() {
+                    let Some(b2) = match_name(&a.args[1], t2.name(), &b1) else {
+                        continue;
+                    };
+                    let target = denote_target(&a.target, &b2)?;
+                    let out = match &a.op {
+                        OpKind::Union => ops::union(t1, t2, target),
+                        OpKind::Difference => ops::difference(t1, t2, target),
+                        OpKind::Intersect => ops::intersect(t1, t2, target),
+                        OpKind::Product => ops::product(t1, t2, target),
+                        OpKind::ClassicalUnion => ops::classical_union(t1, t2, target),
+                        _ => unreachable!("binary dispatch"),
+                    };
+                    results.push(out);
+                }
+            }
+        }
+    }
+
+    stats.tables_produced += results.len();
+    for t in &results {
+        let cells = (t.height() + 1) * (t.width() + 1);
+        stats.max_table_cells = stats.max_table_cells.max(cells);
+        if cells > limits.max_cells {
+            return Err(AlgebraError::LimitExceeded {
+                what: "cells per table",
+                limit: limits.max_cells,
+                attempted: cells,
+            });
+        }
+    }
+
+    // Replace: drop existing tables carrying any produced name, then
+    // insert the results (set semantics collapses exact duplicates).
+    let produced: SymbolSet = results.iter().map(|t| t.name()).collect();
+    db.retain(|t| !produced.contains(t.name()));
+    for t in results {
+        db.insert(t);
+    }
+    if db.len() > limits.max_tables {
+        return Err(AlgebraError::LimitExceeded {
+            what: "tables in database",
+            limit: limits.max_tables,
+            attempted: db.len(),
+        });
+    }
+    Ok(())
+}
+
+fn apply_unary(
+    op: &OpKind,
+    t: &Table,
+    target: Symbol,
+    bindings: &Bindings,
+    limits: &EvalLimits,
+    results: &mut Vec<Table>,
+) -> Result<()> {
+    match op {
+        OpKind::Rename { from, to } => {
+            let from = denote_single(from, t, bindings, "RENAME from")?;
+            let to = denote_single(to, t, bindings, "RENAME to")?;
+            results.push(ops::rename(t, from, to, target));
+        }
+        OpKind::Project { attrs } => {
+            let set = denote_set(attrs, t, bindings);
+            results.push(ops::project(t, &set, target));
+        }
+        OpKind::Select { a, b } => {
+            let a = denote_single(a, t, bindings, "SELECT left")?;
+            let b = denote_single(b, t, bindings, "SELECT right")?;
+            results.push(ops::select(t, a, b, target));
+        }
+        OpKind::SelectConst { a, v } => {
+            let a = denote_single(a, t, bindings, "SELECTCONST attribute")?;
+            let v = denote_single(v, t, bindings, "SELECTCONST constant")?;
+            results.push(ops::select_const(t, a, v, target));
+        }
+        OpKind::Group { by, on } => {
+            let by = denote_set(by, t, bindings);
+            let on = denote_set(on, t, bindings);
+            results.push(ops::group(t, &by, &on, target));
+        }
+        OpKind::Merge { on, by } => {
+            let on = denote_set(on, t, bindings);
+            let by = denote_set(by, t, bindings);
+            results.push(ops::merge(t, &on, &by, target));
+        }
+        OpKind::Split { on } => {
+            let on = denote_set(on, t, bindings);
+            results.extend(ops::split(t, &on, target));
+        }
+        OpKind::Transpose => results.push(ops::transpose(t, target)),
+        OpKind::Switch { entry } => {
+            let v = denote_single(entry, t, bindings, "SWITCH entry")?;
+            results.push(ops::switch(t, v, target));
+        }
+        OpKind::CleanUp { by, on } => {
+            let by = denote_set(by, t, bindings);
+            let on = denote_set(on, t, bindings);
+            results.push(ops::cleanup(t, &by, &on, target));
+        }
+        OpKind::Purge { on, by } => {
+            let on = denote_set(on, t, bindings);
+            let by = denote_set(by, t, bindings);
+            results.push(ops::purge(t, &on, &by, target));
+        }
+        OpKind::TupleNew { attr } => {
+            let attr = denote_single(attr, t, bindings, "TUPLENEW attribute")?;
+            results.push(ops::tuple_new(t, attr, target));
+        }
+        OpKind::SetNew { attr } => {
+            let attr = denote_single(attr, t, bindings, "SETNEW attribute")?;
+            results.push(ops::set_new(t, attr, target, limits.max_setnew_rows)?);
+        }
+        OpKind::Copy => results.push(ops::copy(t, target)),
+        OpKind::Union
+        | OpKind::Difference
+        | OpKind::Intersect
+        | OpKind::Product
+        | OpKind::ClassicalUnion
+        | OpKind::Collapse { .. } => unreachable!("unary dispatch"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use tabular_core::fixtures;
+
+    fn nm(x: &str) -> Symbol {
+        Symbol::name(x)
+    }
+
+    fn limits() -> EvalLimits {
+        EvalLimits::default()
+    }
+
+    #[test]
+    fn group_statement_reproduces_figure_4() {
+        // Sales ← GROUP by Region on Sold (Sales): self-assignment replaces
+        // the Sales table.
+        let p = Program::new().assign(
+            Param::name("Sales"),
+            OpKind::Group {
+                by: Param::names(&["Region"]),
+                on: Param::names(&["Sold"]),
+            },
+            vec![Param::name("Sales")],
+        );
+        let out = run(&p, &fixtures::sales_info1(), &limits()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out.table_str("Sales").unwrap(),
+            &fixtures::figure4_grouped()
+        );
+    }
+
+    #[test]
+    fn split_statement_produces_multiple_tables_one_name() {
+        let p = Program::new().assign(
+            Param::name("Sales"),
+            OpKind::Split {
+                on: Param::names(&["Region"]),
+            },
+            vec![Param::name("Sales")],
+        );
+        let out = run(&p, &fixtures::sales_info1(), &limits()).unwrap();
+        assert_eq!(out.tables_named(nm("Sales")).len(), 4);
+        assert!(out.equiv(&fixtures::sales_info4()));
+    }
+
+    #[test]
+    fn collapse_statement_consumes_the_whole_name_group() {
+        let p = Program::new().assign(
+            Param::name("C"),
+            OpKind::Collapse {
+                by: Param::names(&["Region"]),
+            },
+            vec![Param::name("Sales")],
+        );
+        let out = run(&p, &fixtures::sales_info4(), &limits()).unwrap();
+        let c = out.table_str("C").unwrap();
+        // One column block (Region, Part, Sold) per input table.
+        assert_eq!(c.width(), 12);
+        // One row per data row of each input table.
+        assert_eq!(c.height(), 8);
+    }
+
+    #[test]
+    fn wildcard_statement_runs_over_every_table() {
+        // *₁ ← TRANSPOSE(*₁): transpose every table in place.
+        let p = Program::new().assign(
+            Param::star_k(1),
+            OpKind::Transpose,
+            vec![Param::star_k(1)],
+        );
+        let db = fixtures::sales_info1_full();
+        let out = run(&p, &db, &limits()).unwrap();
+        assert_eq!(out.len(), db.len());
+        for t in db.tables() {
+            let flipped = out
+                .tables_named(t.name())
+                .into_iter()
+                .find(|x| x.height() == t.width())
+                .expect("transposed table present");
+            assert_eq!(&flipped.transpose(), t);
+        }
+    }
+
+    #[test]
+    fn binary_statement_pairs_tables() {
+        let db = Database::from_tables([
+            Table::relational("R", &["A"], &[&["1"]]),
+            Table::relational("S", &["A"], &[&["2"]]),
+        ]);
+        let p = Program::new().assign(
+            Param::name("T"),
+            OpKind::ClassicalUnion,
+            vec![Param::name("R"), Param::name("S")],
+        );
+        let out = run(&p, &db, &limits()).unwrap();
+        let t = out.table_str("T").unwrap();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.width(), 1);
+    }
+
+    #[test]
+    fn assignment_replaces_previous_tables_of_that_name() {
+        let db = Database::from_tables([
+            Table::relational("R", &["A"], &[&["1"]]),
+            Table::relational("T", &["Old"], &[&["x"]]),
+        ]);
+        let p = Program::new().assign(Param::name("T"), OpKind::Copy, vec![Param::name("R")]);
+        let out = run(&p, &db, &limits()).unwrap();
+        let t = out.table_str("T").unwrap();
+        assert_eq!(t.col_attrs(), &[nm("A")]);
+    }
+
+    #[test]
+    fn while_loop_runs_until_empty() {
+        // Repeatedly subtract one specific row set until T is empty:
+        // T ← DIFFERENCE(T, T) empties in one pass; count via a loop that
+        // projects first to prove the body executes.
+        let db = Database::from_tables([Table::relational("T", &["A"], &[&["1"], &["2"]])]);
+        let body = Program::new().assign(
+            Param::name("T"),
+            OpKind::Difference,
+            vec![Param::name("T"), Param::name("T")],
+        );
+        let p = Program::new().while_nonempty(Param::name("T"), body);
+        let out = run(&p, &db, &limits()).unwrap();
+        assert_eq!(out.table_str("T").unwrap().height(), 0);
+    }
+
+    #[test]
+    fn while_loop_diverging_hits_limit() {
+        let db = Database::from_tables([Table::relational("T", &["A"], &[&["1"]])]);
+        let body = Program::new().assign(Param::name("T"), OpKind::Copy, vec![Param::name("T")]);
+        let p = Program::new().while_nonempty(Param::name("T"), body);
+        let small = EvalLimits {
+            max_while_iters: 5,
+            ..EvalLimits::default()
+        };
+        assert!(matches!(
+            run(&p, &db, &small),
+            Err(AlgebraError::LimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn while_on_missing_table_is_skipped() {
+        let db = Database::new();
+        let p = Program::new().while_nonempty(
+            Param::name("Nope"),
+            Program::new().assign(Param::name("X"), OpKind::Copy, vec![Param::name("Nope")]),
+        );
+        let out = run(&p, &db, &limits()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let p = Program::new().assign(Param::name("T"), OpKind::Union, vec![Param::name("R")]);
+        assert!(matches!(
+            run(&p, &Database::new(), &limits()),
+            Err(AlgebraError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn run_outputs_projects_named_results() {
+        let db = fixtures::sales_info1();
+        let p = Program::new()
+            .assign(Param::name("Scratch"), OpKind::Copy, vec![Param::name("Sales")])
+            .assign(Param::name("Out"), OpKind::Copy, vec![Param::name("Scratch")]);
+        let out = run_outputs(&p, &db, &[nm("Out")], &limits()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.table_str("Out").is_some());
+    }
+
+    #[test]
+    fn parallel_and_sequential_evaluation_agree() {
+        // A database with many same-named tables (SalesInfo4 at scale) and
+        // a wildcard statement fanning out over all of them.
+        let db = fixtures::make_sales_info4(12, 100);
+        let p = crate::parser::parse(
+            "*1 <- TRANSPOSE(*1)
+             *1 <- CLEANUP[by {*} on {_}](*1)",
+        )
+        .unwrap();
+        let parallel = EvalLimits {
+            parallel_threshold: 4,
+            ..EvalLimits::default()
+        };
+        let sequential = EvalLimits {
+            parallel_threshold: usize::MAX,
+            ..EvalLimits::default()
+        };
+        let a = run(&p, &db, &parallel).unwrap();
+        let b = run(&p, &db, &sequential).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert!(a.equiv(&b));
+    }
+
+    #[test]
+    fn parallel_evaluation_propagates_errors() {
+        let db = fixtures::make_sales_info4(12, 100);
+        // SETNEW on every table would blow the row budget; the error must
+        // surface from worker threads.
+        let p = crate::parser::parse("*1 <- SETNEW[Tag](*1)").unwrap();
+        let limits = EvalLimits {
+            parallel_threshold: 4,
+            max_setnew_rows: 8,
+            ..EvalLimits::default()
+        };
+        assert!(matches!(
+            run(&p, &db, &limits),
+            Err(AlgebraError::LimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_record_ops_loops_and_shapes() {
+        let p = crate::parser::parse(
+            "Sales <- GROUP[by {Region} on {Sold}](Sales)
+             Sales <- CLEANUP[by {Part} on {_}](Sales)
+             while Work do Work <- DIFFERENCE(Work, Work) end",
+        )
+        .unwrap();
+        let mut db = fixtures::sales_info1();
+        db.insert(Table::relational("Work", &["A"], &[&["1"]]));
+        let (_, stats) = run_with_stats(&p, &db, &limits()).unwrap();
+        assert_eq!(stats.op_counts.get("GROUP"), Some(&1));
+        assert_eq!(stats.op_counts.get("CLEANUP"), Some(&1));
+        assert_eq!(stats.op_counts.get("DIFFERENCE"), Some(&1));
+        assert_eq!(stats.while_iterations, 1);
+        assert!(stats.tables_produced >= 3);
+        // The grouped intermediate dominates: 10 × 10 cells.
+        assert_eq!(stats.max_table_cells, 100);
+        let hottest = stats.hottest();
+        assert_eq!(hottest.len(), 3);
+    }
+
+    #[test]
+    fn statement_reads_pre_state_consistently() {
+        // Sales ← SPLIT on Region (Sales) with self-target must not feed
+        // its own outputs back into the iteration.
+        let p = Program::new().assign(
+            Param::name("Sales"),
+            OpKind::Split {
+                on: Param::names(&["Region"]),
+            },
+            vec![Param::name("Sales")],
+        );
+        let once = run(&p, &fixtures::sales_info1(), &limits()).unwrap();
+        assert_eq!(once.tables_named(nm("Sales")).len(), 4);
+    }
+}

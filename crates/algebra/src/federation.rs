@@ -1,0 +1,239 @@
+//! Federations of tabular databases (paper §4.2): "it is a simple matter
+//! to extend the tabular model and algebra in a way that accounts for a
+//! federation of (tabular) databases. Such an extended language would
+//! trivially subsume SchemaLog (without function symbols)."
+//!
+//! The extension is by qualification: a federation member `hr` holding a
+//! table `Sales` contributes the table under the qualified name
+//! `hr.Sales`, and tabular algebra programs over the flattened database
+//! reference members through those names (`.` is an identifier character
+//! in the textual syntax, so `Pay <- COPY(hr.Sales)` parses as-is).
+//! Results written under a member prefix route back to that member;
+//! unqualified results land in the designated local member.
+
+use crate::error::Result;
+use crate::eval::{run, EvalLimits};
+use crate::program::Program;
+use tabular_core::{Database, Symbol, Table};
+
+/// A named collection of tabular databases.
+#[derive(Clone, Debug, Default)]
+pub struct Federation {
+    members: Vec<(String, Database)>,
+}
+
+impl Federation {
+    /// Empty federation.
+    pub fn new() -> Federation {
+        Federation::default()
+    }
+
+    /// Add (or replace) a member database. Member names must not contain
+    /// `.` (the qualifier separator).
+    pub fn insert(&mut self, name: &str, db: Database) {
+        assert!(
+            !name.contains('.') && !name.is_empty(),
+            "member names are non-empty and dot-free"
+        );
+        match self.members.iter_mut().find(|(n, _)| n == name) {
+            Some((_, slot)) => *slot = db,
+            None => self.members.push((name.to_owned(), db)),
+        }
+    }
+
+    /// Look up a member.
+    pub fn member(&self, name: &str) -> Option<&Database> {
+        self.members
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, db)| db)
+    }
+
+    /// Member names, in insertion order.
+    pub fn member_names(&self) -> Vec<&str> {
+        self.members.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The qualified name of a member's table.
+    pub fn qualify(member: &str, table: Symbol) -> Symbol {
+        Symbol::name(&format!("{member}.{table}"))
+    }
+
+    /// Flatten into a single tabular database with qualified table names —
+    /// the federation *is* a tabular database, which is the §4.2 point.
+    pub fn flatten(&self) -> Database {
+        let mut out = Database::new();
+        for (name, db) in &self.members {
+            for t in db.tables() {
+                let mut q = t.clone();
+                q.set_name(Self::qualify(name, t.name()));
+                out.insert(q);
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Federation::flatten`]: route tables back to members by
+    /// their qualifier; unqualified tables go to `local`.
+    pub fn unflatten(db: &Database, local: &str) -> Federation {
+        let mut fed = Federation::new();
+        fed.insert(local, Database::new());
+        for t in db.tables() {
+            let text = t.name().text().unwrap_or("");
+            let (member, bare) = match text.split_once('.') {
+                Some((m, rest)) if !m.is_empty() && !rest.is_empty() => {
+                    (m.to_owned(), Symbol::name(rest))
+                }
+                _ => (local.to_owned(), t.name()),
+            };
+            let mut renamed = t.clone();
+            renamed.set_name(bare);
+            if fed.member(&member).is_none() {
+                fed.insert(&member, Database::new());
+            }
+            let slot = fed
+                .members
+                .iter_mut()
+                .find(|(n, _)| *n == member)
+                .expect("just ensured");
+            slot.1.insert(renamed);
+        }
+        fed
+    }
+
+    /// Run a tabular algebra program over the federation: flatten, run,
+    /// route results back. `local` names the member receiving unqualified
+    /// results.
+    pub fn run_program(
+        &self,
+        program: &Program,
+        local: &str,
+        limits: &EvalLimits,
+    ) -> Result<Federation> {
+        let flat = self.flatten();
+        let out = run(program, &flat, limits)?;
+        Ok(Federation::unflatten(&out, local))
+    }
+
+    /// Total table count across members.
+    pub fn table_count(&self) -> usize {
+        self.members.iter().map(|(_, db)| db.len()).sum()
+    }
+}
+
+/// Convenience: a federation member's table, qualified, as a fresh table
+/// value (fixtures and tests).
+pub fn qualified(member: &str, table: &Table) -> Table {
+    let mut t = table.clone();
+    t.set_name(Federation::qualify(member, table.name()));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use tabular_core::fixtures;
+
+    fn limits() -> EvalLimits {
+        EvalLimits::default()
+    }
+
+    fn two_branch_federation() -> Federation {
+        let east = Database::from_tables([Table::relational(
+            "Sales",
+            &["Part", "Sold"],
+            &[&["nuts", "50"], &["bolts", "70"]],
+        )]);
+        let west = Database::from_tables([Table::relational(
+            "Sales",
+            &["Part", "Sold"],
+            &[&["nuts", "60"], &["screws", "50"]],
+        )]);
+        let mut fed = Federation::new();
+        fed.insert("east", east);
+        fed.insert("west", west);
+        fed
+    }
+
+    #[test]
+    fn flatten_qualifies_and_unflatten_inverts() {
+        let fed = two_branch_federation();
+        let flat = fed.flatten();
+        assert_eq!(flat.len(), 2);
+        assert!(flat.table_str("east.Sales").is_some());
+        assert!(flat.table_str("west.Sales").is_some());
+        let back = Federation::unflatten(&flat, "main");
+        assert!(back
+            .member("east")
+            .unwrap()
+            .equiv(fed.member("east").unwrap()));
+        assert!(back
+            .member("west")
+            .unwrap()
+            .equiv(fed.member("west").unwrap()));
+    }
+
+    #[test]
+    fn cross_database_union() {
+        // The interoperability workload SchemaLog motivates: merge the
+        // branch sales into a warehouse member.
+        let fed = two_branch_federation();
+        let p = parse("warehouse.Sales <- CLASSICALUNION(east.Sales, west.Sales)").unwrap();
+        let out = fed.run_program(&p, "main", &limits()).unwrap();
+        let warehouse = out.member("warehouse").unwrap();
+        let merged = warehouse.table_str("Sales").unwrap();
+        assert_eq!(merged.height(), 4);
+        assert_eq!(merged.width(), 2);
+        // Sources untouched.
+        assert_eq!(out.member("east").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cross_database_restructuring() {
+        // Split one member's relational table into another member's
+        // per-region tables — Figure 1 across database boundaries.
+        let mut fed = Federation::new();
+        fed.insert("hq", fixtures::sales_info1());
+        let p = parse("mirror.Sales <- SPLIT[on {Region}](hq.Sales)").unwrap();
+        let out = fed.run_program(&p, "main", &limits()).unwrap();
+        let mirror = out.member("mirror").unwrap();
+        assert!(mirror.equiv(&fixtures::sales_info4()));
+    }
+
+    #[test]
+    fn unqualified_results_go_to_the_local_member() {
+        let fed = two_branch_federation();
+        let p = parse("Combined <- UNION(east.Sales, west.Sales)").unwrap();
+        let out = fed.run_program(&p, "scratchpad", &limits()).unwrap();
+        assert!(out
+            .member("scratchpad")
+            .unwrap()
+            .table_str("Combined")
+            .is_some());
+    }
+
+    #[test]
+    fn wildcards_range_over_the_whole_federation() {
+        let fed = two_branch_federation();
+        // Transpose every table of every member in place.
+        let p = parse("*1 <- TRANSPOSE(*1)").unwrap();
+        let out = fed.run_program(&p, "main", &limits()).unwrap();
+        for member in ["east", "west"] {
+            let db = out.member(member).unwrap();
+            let t = db.table_str("Sales").unwrap();
+            assert_eq!(t.height(), 2); // transposed: attrs became rows
+            assert_eq!(t.width(), 2);
+        }
+    }
+
+    #[test]
+    fn member_bookkeeping() {
+        let mut fed = two_branch_federation();
+        assert_eq!(fed.member_names(), vec!["east", "west"]);
+        assert_eq!(fed.table_count(), 2);
+        fed.insert("east", Database::new());
+        assert_eq!(fed.member("east").unwrap().len(), 0);
+        assert_eq!(fed.member_names().len(), 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! # tabular-algebra
+//!
+//! The **tabular algebra** (TA) of Gyssens, Lakshmanan & Subramanian,
+//! *Tables as a Paradigm for Querying and Restructuring* (PODS 1996), §3:
+//! a language for querying and restructuring tabular databases that is
+//! complete for the generic, constructive database transformations
+//! (Theorem 4.4).
+//!
+//! Three layers:
+//!
+//! * [`ops`] — every operation of §3 as a pure function on tables:
+//!   traditional (union, difference, ×, rename, project, select),
+//!   restructuring (group, merge, split, collapse), transposition
+//!   (transpose, switch), redundancy removal (clean-up, purge), and
+//!   tagging (tuple-new, set-new);
+//! * [`program`] + [`param`] — assignment statements
+//!   `T ← op(params)(args)` with the paper's parameter language
+//!   (wildcards, negative lists, entry-addressing pairs) and `while`
+//!   loops;
+//! * [`eval`] — the interpreter, and [`parser`] — a textual concrete
+//!   syntax with a [`pretty`] printer.
+//!
+//! ## Example: Figure 4 of the paper
+//!
+//! ```
+//! use tabular_algebra::{eval, param::Param, program::{OpKind, Program}, EvalLimits};
+//! use tabular_core::fixtures;
+//!
+//! let program = Program::new().assign(
+//!     Param::name("Sales"),
+//!     OpKind::Group { by: Param::names(&["Region"]), on: Param::names(&["Sold"]) },
+//!     vec![Param::name("Sales")],
+//! );
+//! let out = eval::run(&program, &fixtures::sales_info1(), &EvalLimits::default()).unwrap();
+//! assert_eq!(out.table_str("Sales").unwrap(), &fixtures::figure4_grouped());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod derived;
+pub mod error;
+pub mod eval;
+pub mod federation;
+pub mod ops;
+pub mod optimize;
+pub mod param;
+pub mod parser;
+pub mod pretty;
+pub mod program;
+
+pub use error::AlgebraError;
+pub use federation::Federation;
+pub use optimize::optimize;
+pub use eval::{run, run_outputs, run_with_stats, EvalLimits, EvalStats};
+pub use param::Param;
+pub use program::{Assignment, OpKind, Program, Statement};

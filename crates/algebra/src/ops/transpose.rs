@@ -1,0 +1,135 @@
+//! Transposition (paper §3.3): **transpose** and **switch**.
+//!
+//! Transposition makes every operation's *dual* (rows ↔ columns)
+//! expressible; switching moves a data entry into the attribute position,
+//! which is what lets constant selection and data-dependent restructuring
+//! be derived.
+
+use tabular_core::{Symbol, Table};
+
+/// `T ← TRANSPOSE(R)`: transpose the table as a matrix. Column attributes
+/// become row attributes and vice versa; the table name stays at (0,0).
+pub fn transpose(r: &Table, name: Symbol) -> Table {
+    let mut t = r.transpose();
+    t.set_name(name);
+    t
+}
+
+/// `T ← SWITCH_V(R)`: if `v` occurs at exactly one position `(i, j)` of
+/// `ρ`, swap rows `0` and `i` and columns `0` and `j` (bringing `v` to the
+/// table-name position and the former name into the table body); otherwise
+/// the table is merely renamed.
+pub fn switch(r: &Table, v: Symbol, name: Symbol) -> Table {
+    let mut occurrences = (0..=r.height())
+        .flat_map(|i| (0..=r.width()).map(move |j| (i, j)))
+        .filter(|&(i, j)| r.get(i, j) == v);
+    let first = occurrences.next();
+    let second = occurrences.next();
+
+    let mut t = r.clone();
+    if let (Some((i, j)), None) = (first, second) {
+        t.swap_rows(0, i);
+        t.swap_cols(0, j);
+    }
+    t.set_name(name);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular_core::fixtures;
+
+    fn nm(x: &str) -> Symbol {
+        Symbol::name(x)
+    }
+
+    #[test]
+    fn transpose_swaps_attribute_roles() {
+        let info3 = fixtures::sales_info3();
+        let t = info3.table_str("Sales").unwrap();
+        let tt = transpose(t, nm("SalesT"));
+        assert_eq!(tt.name(), nm("SalesT"));
+        assert_eq!(tt.col_attrs().to_vec(), t.row_attrs());
+        assert_eq!(tt.get(1, 2), t.get(2, 1));
+    }
+
+    #[test]
+    fn transpose_twice_restores_modulo_name() {
+        let rel = fixtures::sales_relation();
+        let back = transpose(&transpose(&rel, nm("X")), nm("Sales"));
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn switch_on_unique_occurrence_swaps_row_and_column() {
+        let t = Table::from_grid(&[
+            &["T", "A", "B"],
+            &["r", "x", "y"],
+            &["s", "z", "w"],
+        ])
+        .unwrap();
+        let sw = switch(&t, Symbol::value("w"), nm("U"));
+        // w sat at (2,2): it becomes the table name position's occupant
+        // after the double swap... the name parameter overwrites (0,0), so
+        // check the structural swap via the other cells.
+        assert_eq!(sw.name(), nm("U"));
+        // Former row 0 is now row 2, former column 0 now column 2.
+        assert_eq!(sw.get(2, 0), nm("B")); // old (0,2)
+        assert_eq!(sw.get(0, 2), nm("s")); // old (2,0)
+        assert_eq!(sw.get(2, 2), nm("T")); // old (0,0)
+        // Untouched quadrant cell.
+        assert_eq!(sw.get(1, 1), Symbol::value("x"));
+    }
+
+    #[test]
+    fn switch_without_unique_occurrence_only_renames() {
+        let t = Table::from_grid(&[
+            &["T", "A"],
+            &["_", "x"],
+            &["_", "x"],
+        ])
+        .unwrap();
+        let sw = switch(&t, Symbol::value("x"), nm("U"));
+        let mut expected = t.clone();
+        expected.set_name(nm("U"));
+        assert_eq!(sw, expected);
+        // Absent symbol: same.
+        let sw2 = switch(&t, Symbol::value("nope"), nm("U"));
+        assert_eq!(sw2, expected);
+    }
+
+    #[test]
+    fn switch_brings_data_to_attribute_row() {
+        // The constant-selection derivation (§3.3): switching on a value
+        // moves its row into the attribute row.
+        let rel = fixtures::sales_relation();
+        // "70" occurs once (bolts east 70).
+        let sw = switch(&rel, Symbol::value("70"), nm("S"));
+        // The former row 7 (bolts east 70) is now the attribute row.
+        assert_eq!(sw.get(0, 1), Symbol::value("bolts"));
+        assert_eq!(sw.get(0, 2), Symbol::value("east"));
+        // The column-0 swap moved the Sold header to the row-attribute
+        // column and the old table name into the body.
+        assert_eq!(sw.get(7, 0), nm("Sold"));
+        assert_eq!(sw.get(7, 3), nm("Sales"));
+    }
+
+    #[test]
+    fn switch_preserves_cells_up_to_the_name_overwrite() {
+        let t = Table::from_grid(&[
+            &["T", "A", "B"],
+            &["r", "x", "y"],
+        ])
+        .unwrap();
+        let sw = switch(&t, Symbol::value("y"), nm("T"));
+        // The switched value lands at (0,0) and is overwritten by the new
+        // name; every other symbol of the table is preserved.
+        let mut before: Vec<Symbol> = t.symbols().filter(|s| *s != Symbol::value("y")).collect();
+        let mut after: Vec<Symbol> = sw.symbols().collect();
+        before.push(nm("T"));
+        before.sort();
+        after.sort();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,301 @@
+//! Program optimization — the future-work direction the paper names in
+//! §5 ("Query (and program) optimization is an important issue").
+//!
+//! Two conservative, semantics-preserving passes over tabular algebra
+//! programs:
+//!
+//! * **dead-assignment elimination** — statements assigning to a
+//!   *scratch* table (reserved namespace) that no later statement ever
+//!   reads are dropped, to a fixpoint. The compilers of Theorems 4.1/4.5
+//!   emit long scratch chains; copies that feed nothing disappear here.
+//! * **copy forwarding** — a `COPY` from a scratch table that was itself
+//!   assigned exactly once immediately before is fused by retargeting the
+//!   producing statement.
+//!
+//! Both passes bail out (returning the program unchanged) when the
+//! program uses non-ground parameters (wildcards, pairs, negative lists)
+//! in targets, arguments, or `while` conditions — with wildcards, any
+//! statement may read any table, so nothing is provably dead. Compiled
+//! programs are fully ground, which is exactly where the passes pay off.
+
+use crate::param::Param;
+use crate::program::{Assignment, OpKind, Program, Statement};
+use tabular_core::{interner, Symbol, SymbolSet};
+
+/// True if the symbol lives in the reserved scratch namespace.
+fn is_scratch(s: Symbol) -> bool {
+    s.text().is_some_and(interner::is_reserved)
+}
+
+fn ground(p: &Param) -> Option<Symbol> {
+    p.as_ground()
+}
+
+/// Collect every table name a statement list reads (arguments and `while`
+/// conditions); `None` if any parameter is non-ground.
+fn read_set(stmts: &[Statement], out: &mut SymbolSet) -> Option<()> {
+    for stmt in stmts {
+        match stmt {
+            Statement::Assign(a) => {
+                ground(&a.target)?;
+                for arg in &a.args {
+                    out.insert(ground(arg)?);
+                }
+            }
+            Statement::While { cond, body } => {
+                out.insert(ground(cond)?);
+                read_set(body, out)?;
+            }
+        }
+    }
+    Some(())
+}
+
+fn drop_dead(stmts: &mut Vec<Statement>, live: &SymbolSet) -> bool {
+    let mut changed = false;
+    stmts.retain_mut(|stmt| match stmt {
+        Statement::Assign(a) => {
+            let target = a.target.as_ground().expect("checked ground");
+            let keep = !is_scratch(target) || live.contains(target);
+            if !keep {
+                changed = true;
+            }
+            keep
+        }
+        Statement::While { body, .. } => {
+            changed |= drop_dead(body, live);
+            true
+        }
+    });
+    changed
+}
+
+/// Eliminate dead scratch assignments, to a fixpoint.
+pub fn eliminate_dead(program: &Program) -> Program {
+    let mut out = program.clone();
+    loop {
+        let mut live = SymbolSet::new();
+        if read_set(&out.statements, &mut live).is_none() {
+            return program.clone();
+        }
+        if !drop_dead(&mut out.statements, &live) {
+            return out;
+        }
+    }
+}
+
+/// Fuse `s ← op(...); T ← COPY(s)` into `T ← op(...)` when `s` is scratch,
+/// produced by the immediately preceding statement, and read nowhere else.
+/// Straight-line segments only (never across a `while` boundary).
+pub fn forward_copies(program: &Program) -> Program {
+    let mut live = SymbolSet::new();
+    if read_set(&program.statements, &mut live).is_none() {
+        return program.clone();
+    }
+    let mut out = program.clone();
+    fuse_in(&mut out.statements);
+    out
+}
+
+fn fuse_in(stmts: &mut Vec<Statement>) {
+    // Count reads per name within this segment (including nested bodies).
+    fn count_reads(stmts: &[Statement], of: Symbol) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Statement::Assign(a) => a
+                    .args
+                    .iter()
+                    .filter(|p| p.as_ground() == Some(of))
+                    .count(),
+                Statement::While { cond, body } => {
+                    usize::from(cond.as_ground() == Some(of)) + count_reads(body, of)
+                }
+            })
+            .sum()
+    }
+
+    let mut i = 1;
+    while i < stmts.len() {
+        let fusable = {
+            let (head, tail) = stmts.split_at(i);
+            let prev = head.last().expect("i >= 1");
+            match (&prev, &tail[0]) {
+                (Statement::Assign(p), Statement::Assign(c)) => {
+                    let produced = p.target.as_ground();
+                    let copied = match (&c.op, c.args.as_slice()) {
+                        (OpKind::Copy, [arg]) => arg.as_ground(),
+                        _ => None,
+                    };
+                    match (produced, copied) {
+                        (Some(s), Some(src))
+                            if s == src
+                                && is_scratch(s)
+                                && count_reads(stmts, s) == 1 =>
+                        {
+                            Some(c.target.clone())
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            }
+        };
+        if let Some(new_target) = fusable {
+            if let Statement::Assign(Assignment { target, .. }) = &mut stmts[i - 1] {
+                *target = new_target;
+            }
+            stmts.remove(i);
+        } else {
+            match &mut stmts[i] {
+                Statement::While { body, .. } => fuse_in(body),
+                Statement::Assign(_) => {}
+            }
+            i += 1;
+        }
+    }
+    if let Some(Statement::While { body, .. }) = stmts.first_mut() {
+        fuse_in(body);
+    }
+}
+
+/// The full pipeline: copy forwarding, then dead-code elimination.
+pub fn optimize(program: &Program) -> Program {
+    eliminate_dead(&forward_copies(program))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{run, EvalLimits};
+    use crate::param::Param;
+    use tabular_core::{fixtures, Database};
+
+    fn scratch(n: u32) -> Symbol {
+        Symbol::name(&format!("\u{1F}opt{n}"))
+    }
+
+    #[test]
+    fn dead_scratch_assignments_are_removed() {
+        let p = Program::new()
+            .assign(
+                Param::sym(scratch(1)),
+                OpKind::Copy,
+                vec![Param::name("Sales")],
+            )
+            .assign(
+                Param::name("Out"),
+                OpKind::Copy,
+                vec![Param::name("Sales")],
+            );
+        let opt = eliminate_dead(&p);
+        assert_eq!(opt.len(), 1);
+    }
+
+    #[test]
+    fn dead_chains_are_removed_to_a_fixpoint() {
+        // s1 feeds s2 feeds nothing: both must go.
+        let p = Program::new()
+            .assign(Param::sym(scratch(1)), OpKind::Copy, vec![Param::name("Sales")])
+            .assign(Param::sym(scratch(2)), OpKind::Copy, vec![Param::sym(scratch(1))])
+            .assign(Param::name("Out"), OpKind::Copy, vec![Param::name("Sales")]);
+        assert_eq!(eliminate_dead(&p).len(), 1);
+    }
+
+    #[test]
+    fn user_visible_targets_are_never_removed() {
+        let p = Program::new().assign(
+            Param::name("Unused"),
+            OpKind::Copy,
+            vec![Param::name("Sales")],
+        );
+        assert_eq!(eliminate_dead(&p).len(), 1);
+    }
+
+    #[test]
+    fn copy_forwarding_fuses_producer_and_copy() {
+        let p = Program::new()
+            .assign(
+                Param::sym(scratch(1)),
+                OpKind::Transpose,
+                vec![Param::name("Sales")],
+            )
+            .assign(Param::name("Out"), OpKind::Copy, vec![Param::sym(scratch(1))]);
+        let opt = optimize(&p);
+        assert_eq!(opt.len(), 1);
+        let Statement::Assign(a) = &opt.statements[0] else {
+            panic!("assignment expected");
+        };
+        assert_eq!(a.target, Param::name("Out"));
+        assert!(matches!(a.op, OpKind::Transpose));
+    }
+
+    #[test]
+    fn copy_forwarding_respects_multiple_readers() {
+        // The scratch result is read twice: the copy cannot be fused away.
+        let p = Program::new()
+            .assign(
+                Param::sym(scratch(1)),
+                OpKind::Transpose,
+                vec![Param::name("Sales")],
+            )
+            .assign(Param::name("A"), OpKind::Copy, vec![Param::sym(scratch(1))])
+            .assign(Param::name("B"), OpKind::Copy, vec![Param::sym(scratch(1))]);
+        assert_eq!(optimize(&p).len(), 3);
+    }
+
+    #[test]
+    fn wildcard_programs_are_left_untouched() {
+        let p = Program::new()
+            .assign(Param::sym(scratch(1)), OpKind::Copy, vec![Param::name("X")])
+            .assign(Param::star_k(1), OpKind::Transpose, vec![Param::star_k(1)]);
+        // The wildcard could read the scratch table: no elimination.
+        assert_eq!(optimize(&p).len(), 2);
+    }
+
+    #[test]
+    fn optimizing_a_compiled_program_preserves_results() {
+        // A small pipeline with real scratch traffic.
+        let p = crate::parser::parse(
+            "Sales <- GROUP[by {Region} on {Sold}](Sales)
+             Sales <- CLEANUP[by {Part} on {_}](Sales)
+             Sales <- PURGE[on {Sold} by {Region}](Sales)",
+        )
+        .unwrap();
+        let db = fixtures::sales_info1();
+        let opt = optimize(&p);
+        let a = run(&p, &db, &EvalLimits::default()).unwrap();
+        let b = run(&opt, &db, &EvalLimits::default()).unwrap();
+        assert!(compare_visible(&a, &b));
+    }
+
+    #[test]
+    fn while_bodies_are_preserved_correctly() {
+        let p = Program::new()
+            .assign(Param::name("T"), OpKind::Copy, vec![Param::name("Sales")])
+            .while_nonempty(
+                Param::name("T"),
+                Program::new().assign(
+                    Param::name("T"),
+                    OpKind::Difference,
+                    vec![Param::name("T"), Param::name("T")],
+                ),
+            );
+        let opt = optimize(&p);
+        assert_eq!(opt.len(), p.len());
+        let db = fixtures::sales_info1();
+        let a = run(&p, &db, &EvalLimits::default()).unwrap();
+        let b = run(&opt, &db, &EvalLimits::default()).unwrap();
+        assert!(compare_visible(&a, &b));
+    }
+
+    /// Compare databases on their user-visible (non-scratch) tables.
+    fn compare_visible(a: &Database, b: &Database) -> bool {
+        let strip = |db: &Database| {
+            let mut out = db.clone();
+            out.retain(|t| !is_scratch(t.name()));
+            out
+        };
+        strip(a).equiv(&strip(b))
+    }
+}

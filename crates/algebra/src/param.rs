@@ -1,0 +1,418 @@
+//! The parameter language of tabular algebra statements (paper §3.6).
+//!
+//! Grammar (reconstructed from the paper's BNF):
+//!
+//! ```text
+//! param ::= items [ "\" items ]          positive list minus negative list
+//! item  ::= ⊥ | name | *ₖ | (param, param)
+//! ```
+//!
+//! * a **name** denotes itself;
+//! * **⊥** denotes the inapplicable null;
+//! * a **star** `*ₖ` is a wildcard: in an *argument* position it matches
+//!   any table name and binds `k`; elsewhere, a bound star denotes its
+//!   binding and an unbound star denotes *all column attributes* of the
+//!   table under consideration (the "everything" wildcard, which together
+//!   with the negative list expresses parameters like "all attributes
+//!   except A");
+//! * a **pair** `(r, c)` denotes the data entries lying in rows whose row
+//!   attribute is denoted by `r` and columns whose column attribute is
+//!   denoted by `c` — parameters may thus refer to *data*, which is how
+//!   e.g. `SWITCH` targets a particular entry.
+//!
+//! A parameter denotes the set of symbols denoted by its positive items
+//! minus those denoted by its negative items. Contexts that need a single
+//! symbol (a target name, a rename attribute, a switch entry) require the
+//! denoted set to be a singleton (paper: "otherwise the effect of the
+//! statement is undefined") — we surface that as
+//! [`AlgebraError::NotSingleton`].
+
+use crate::error::{AlgebraError, Result};
+use std::collections::BTreeMap;
+use tabular_core::{Symbol, SymbolSet, Table};
+
+/// One item of a parameter's positive or negative list.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Item {
+    /// ⊥.
+    Null,
+    /// A literal symbol (name or value).
+    Sym(Symbol),
+    /// A wildcard, identified by its subscript.
+    Star(u32),
+    /// `(row-selector, column-selector)` → the data entries so addressed.
+    Pair(Box<Param>, Box<Param>),
+}
+
+/// A parameter: positive items minus negative items.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Param {
+    /// Items whose denotations are included.
+    pub positive: Vec<Item>,
+    /// Items whose denotations are excluded.
+    pub negative: Vec<Item>,
+}
+
+impl Param {
+    /// A single literal name.
+    pub fn name(s: &str) -> Param {
+        Param::sym(Symbol::name(s))
+    }
+
+    /// A single literal value.
+    pub fn value(s: &str) -> Param {
+        Param::sym(Symbol::value(s))
+    }
+
+    /// A single literal symbol.
+    pub fn sym(s: Symbol) -> Param {
+        Param {
+            positive: vec![Item::Sym(s)],
+            negative: vec![],
+        }
+    }
+
+    /// The ⊥ parameter.
+    pub fn null() -> Param {
+        Param {
+            positive: vec![Item::Null],
+            negative: vec![],
+        }
+    }
+
+    /// The unsubscripted wildcard `*`.
+    pub fn star() -> Param {
+        Param::star_k(0)
+    }
+
+    /// A subscripted wildcard `*ₖ`.
+    pub fn star_k(k: u32) -> Param {
+        Param {
+            positive: vec![Item::Star(k)],
+            negative: vec![],
+        }
+    }
+
+    /// A set of literal names.
+    pub fn names(xs: &[&str]) -> Param {
+        Param {
+            positive: xs.iter().map(|x| Item::Sym(Symbol::name(x))).collect(),
+            negative: vec![],
+        }
+    }
+
+    /// `* \ xs`: every column attribute except the given names.
+    pub fn all_but(xs: &[&str]) -> Param {
+        Param {
+            positive: vec![Item::Star(0)],
+            negative: xs.iter().map(|x| Item::Sym(Symbol::name(x))).collect(),
+        }
+    }
+
+    /// A pair `(row, col)` addressing data entries.
+    pub fn pair(row: Param, col: Param) -> Param {
+        Param {
+            positive: vec![Item::Pair(Box::new(row), Box::new(col))],
+            negative: vec![],
+        }
+    }
+
+    /// Add negative items.
+    pub fn minus(mut self, p: Param) -> Param {
+        self.negative.extend(p.positive);
+        self
+    }
+
+    /// True if the parameter is a single ground symbol (no stars, no
+    /// pairs, no negatives) — the common case for targets and literals.
+    pub fn as_ground(&self) -> Option<Symbol> {
+        if self.negative.is_empty() && self.positive.len() == 1 {
+            match &self.positive[0] {
+                Item::Sym(s) => Some(*s),
+                Item::Null => Some(Symbol::Null),
+                _ => None,
+            }
+        } else {
+            None
+        }
+    }
+}
+
+/// Wildcard bindings established by matching the argument list against
+/// table names (paper §3.6: "that wild card should be interpreted as the
+/// corresponding name in the combination of table names under
+/// consideration").
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Bindings {
+    map: BTreeMap<u32, Symbol>,
+}
+
+impl Bindings {
+    /// No bindings.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Look up a star's binding.
+    pub fn get(&self, k: u32) -> Option<Symbol> {
+        self.map.get(&k).copied()
+    }
+
+    /// Bind star `k`; returns `false` (and leaves the binding unchanged)
+    /// if `k` is already bound to a different symbol.
+    pub fn bind(&mut self, k: u32, s: Symbol) -> bool {
+        match self.map.get(&k) {
+            Some(&prev) => prev == s,
+            None => {
+                self.map.insert(k, s);
+                true
+            }
+        }
+    }
+}
+
+/// Try to match an *argument-position* parameter against a table name,
+/// extending `bindings`. Literals must equal the name; stars bind (or must
+/// agree with their binding); the negative list excludes names it denotes.
+/// Pairs are not meaningful in argument position and never match.
+pub fn match_name(param: &Param, name: Symbol, bindings: &Bindings) -> Option<Bindings> {
+    let mut out = bindings.clone();
+    let mut matched = false;
+    for item in &param.positive {
+        match item {
+            Item::Sym(s) if *s == name => matched = true,
+            Item::Null if name.is_null() => matched = true,
+            Item::Star(k) => match out.get(*k) {
+                Some(b) if b == name => matched = true,
+                Some(_) => {}
+                None => {
+                    out.bind(*k, name);
+                    matched = true;
+                }
+            },
+            _ => {}
+        }
+        if matched {
+            break;
+        }
+    }
+    if !matched {
+        return None;
+    }
+    for item in &param.negative {
+        let excluded = match item {
+            Item::Sym(s) => *s == name,
+            Item::Null => name.is_null(),
+            Item::Star(k) => out.get(*k) == Some(name),
+            Item::Pair(_, _) => false,
+        };
+        if excluded {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+fn denote_item(item: &Item, table: &Table, bindings: &Bindings, out: &mut SymbolSet) {
+    match item {
+        Item::Null => out.insert(Symbol::Null),
+        Item::Sym(s) => out.insert(*s),
+        Item::Star(k) => match bindings.get(*k) {
+            Some(s) => out.insert(s),
+            // Unbound star in a set position: every column attribute of
+            // the table under consideration.
+            None => {
+                for a in table.col_attrs() {
+                    out.insert(*a);
+                }
+            }
+        },
+        Item::Pair(rp, cp) => {
+            let rows = denote_set(rp, table, bindings);
+            let cols = denote_set(cp, table, bindings);
+            for i in 1..=table.height() {
+                if !rows.contains(table.get(i, 0)) {
+                    continue;
+                }
+                for j in 1..=table.width() {
+                    if cols.contains(table.col_attr(j)) {
+                        out.insert(table.get(i, j));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The set of symbols a parameter denotes, relative to a table and the
+/// current wildcard bindings.
+pub fn denote_set(param: &Param, table: &Table, bindings: &Bindings) -> SymbolSet {
+    let mut pos = SymbolSet::new();
+    for item in &param.positive {
+        denote_item(item, table, bindings, &mut pos);
+    }
+    let mut neg = SymbolSet::new();
+    for item in &param.negative {
+        denote_item(item, table, bindings, &mut neg);
+    }
+    pos.minus(&neg)
+}
+
+/// The single symbol a parameter denotes; errors unless the denotation is
+/// a singleton.
+pub fn denote_single(
+    param: &Param,
+    table: &Table,
+    bindings: &Bindings,
+    context: &'static str,
+) -> Result<Symbol> {
+    let set = denote_set(param, table, bindings);
+    if set.len() == 1 {
+        Ok(set.iter().next().expect("len checked"))
+    } else {
+        Err(AlgebraError::NotSingleton {
+            context,
+            got: set.len(),
+        })
+    }
+}
+
+/// Resolve a *target* (or `while`-condition) parameter to a table name
+/// using bindings only — no table context exists for the left-hand side.
+pub fn denote_target(param: &Param, bindings: &Bindings) -> Result<Symbol> {
+    if param.negative.is_empty() && param.positive.len() == 1 {
+        match &param.positive[0] {
+            Item::Sym(s) => return Ok(*s),
+            Item::Star(k) => {
+                return bindings
+                    .get(*k)
+                    .ok_or(AlgebraError::UnboundWildcard(*k));
+            }
+            _ => {}
+        }
+    }
+    Err(AlgebraError::BadTarget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nm(x: &str) -> Symbol {
+        Symbol::name(x)
+    }
+
+    fn sample() -> Table {
+        Table::from_grid(&[
+            &["Sales", "Part", "Sold", "Sold"],
+            &["Region", "_", "east", "west"],
+            &["_", "nuts", "50", "60"],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn literal_matches_its_own_name() {
+        let p = Param::name("Sales");
+        assert!(match_name(&p, nm("Sales"), &Bindings::new()).is_some());
+        assert!(match_name(&p, nm("Other"), &Bindings::new()).is_none());
+    }
+
+    #[test]
+    fn star_binds_and_stays_consistent() {
+        let p = Param::star_k(1);
+        let b = match_name(&p, nm("Sales"), &Bindings::new()).unwrap();
+        assert_eq!(b.get(1), Some(nm("Sales")));
+        // A second match with the same star must agree.
+        assert!(match_name(&p, nm("Sales"), &b).is_some());
+        assert!(match_name(&p, nm("Other"), &b).is_none());
+    }
+
+    #[test]
+    fn negative_list_excludes() {
+        let p = Param::star().minus(Param::name("Skip"));
+        assert!(match_name(&p, nm("Sales"), &Bindings::new()).is_some());
+        assert!(match_name(&p, nm("Skip"), &Bindings::new()).is_none());
+    }
+
+    #[test]
+    fn set_denotation_of_literals_and_null() {
+        let p = Param {
+            positive: vec![Item::Sym(nm("Part")), Item::Null],
+            negative: vec![],
+        };
+        let set = denote_set(&p, &sample(), &Bindings::new());
+        assert!(set.contains(nm("Part")));
+        assert!(set.contains(Symbol::Null));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn unbound_star_denotes_all_column_attributes() {
+        let set = denote_set(&Param::star(), &sample(), &Bindings::new());
+        assert!(set.contains(nm("Part")));
+        assert!(set.contains(nm("Sold")));
+        assert_eq!(set.len(), 2); // Sold deduplicated
+    }
+
+    #[test]
+    fn all_but_subtracts() {
+        let set = denote_set(&Param::all_but(&["Part"]), &sample(), &Bindings::new());
+        assert!(!set.contains(nm("Part")));
+        assert!(set.contains(nm("Sold")));
+    }
+
+    #[test]
+    fn bound_star_denotes_its_binding() {
+        let mut b = Bindings::new();
+        b.bind(2, nm("Part"));
+        let set = denote_set(&Param::star_k(2), &sample(), &b);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(nm("Part")));
+    }
+
+    #[test]
+    fn pair_addresses_data_entries() {
+        // Entries in rows with row attribute Region under columns named
+        // Sold: the region header values.
+        let p = Param::pair(Param::name("Region"), Param::name("Sold"));
+        let set = denote_set(&p, &sample(), &Bindings::new());
+        assert!(set.contains(Symbol::value("east")));
+        assert!(set.contains(Symbol::value("west")));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn pair_with_null_row_selector_reads_ordinary_rows() {
+        let p = Param::pair(Param::null(), Param::name("Part"));
+        let set = denote_set(&p, &sample(), &Bindings::new());
+        // Only the ⊥-attributed data row qualifies; the Region header row
+        // (row attribute Region) is excluded.
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(Symbol::value("nuts")));
+    }
+
+    #[test]
+    fn singleton_enforcement() {
+        let t = sample();
+        assert!(denote_single(&Param::name("Part"), &t, &Bindings::new(), "x").is_ok());
+        let err = denote_single(&Param::star(), &t, &Bindings::new(), "x").unwrap_err();
+        assert!(matches!(err, AlgebraError::NotSingleton { got: 2, .. }));
+    }
+
+    #[test]
+    fn target_resolution() {
+        assert_eq!(
+            denote_target(&Param::name("T"), &Bindings::new()).unwrap(),
+            nm("T")
+        );
+        let mut b = Bindings::new();
+        b.bind(0, nm("Bound"));
+        assert_eq!(denote_target(&Param::star(), &b).unwrap(), nm("Bound"));
+        assert!(matches!(
+            denote_target(&Param::star_k(9), &Bindings::new()),
+            Err(AlgebraError::UnboundWildcard(9))
+        ));
+        assert!(denote_target(&Param::names(&["A", "B"]), &Bindings::new()).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation (DESIGN.md §6): componentwise-join clean-up vs the naive
+//! quadratic pairwise-subsumption algorithm, on grouped tables of
+//! increasing size (the Figure 4 → SalesInfo2 workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tabular_algebra::ops;
+use tabular_bench::cleanup_naive;
+use tabular_core::{fixtures, Symbol, SymbolSet};
+
+fn bench(c: &mut Criterion) {
+    let by_region = SymbolSet::from_iter([Symbol::name("Region")]);
+    let on_sold = SymbolSet::from_iter([Symbol::name("Sold")]);
+    let by_part = SymbolSet::from_iter([Symbol::name("Part")]);
+    let null = SymbolSet::from_iter([Symbol::Null]);
+    let name = Symbol::name("C");
+
+    let mut g = c.benchmark_group("ablation/cleanup");
+    for &(p, r) in &[(4usize, 4usize), (8, 8), (16, 16)] {
+        let grouped = ops::group(
+            &fixtures::make_sales_relation(p, r),
+            &by_region,
+            &on_sold,
+            name,
+        );
+        let label = format!("rows={}", grouped.height());
+        g.bench_with_input(BenchmarkId::new("join", &label), &grouped, |b, t| {
+            b.iter(|| ops::cleanup(t, &by_part, &null, name));
+        });
+        g.bench_with_input(BenchmarkId::new("naive", &label), &grouped, |b, t| {
+            b.iter(|| cleanup_naive(t, &by_part, &null, name));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

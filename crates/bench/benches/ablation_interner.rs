@@ -1,0 +1,52 @@
+//! Ablation (DESIGN.md §6): interned `u32` symbols vs uninterned
+//! `Arc<str>` symbols, on the comparison/hash workload the algebra's
+//! grouping and subsumption machinery consists of.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+use tabular_core::symbol::uninterned::USymbol;
+use tabular_core::{fixtures, Symbol};
+
+fn bench(c: &mut Criterion) {
+    let rel = fixtures::make_sales_relation(64, 32);
+    let interned: Vec<Symbol> = rel.symbols().collect();
+    let uninterned: Vec<USymbol> = interned.iter().map(|&s| USymbol::from_symbol(s)).collect();
+
+    let mut g = c.benchmark_group("ablation/interner");
+    g.bench_function(BenchmarkId::new("weak_eq_scan", "interned"), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for w in interned.windows(2) {
+                if w[0].weak_eq(w[1]) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    g.bench_function(BenchmarkId::new("weak_eq_scan", "uninterned"), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for w in uninterned.windows(2) {
+                if w[0].weak_eq(&w[1]) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    g.bench_function(BenchmarkId::new("hash_dedup", "interned"), |b| {
+        b.iter(|| interned.iter().collect::<HashSet<_>>().len());
+    });
+    g.bench_function(BenchmarkId::new("hash_dedup", "uninterned"), |b| {
+        b.iter(|| uninterned.iter().collect::<HashSet<_>>().len());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

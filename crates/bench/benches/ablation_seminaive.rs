@@ -1,0 +1,54 @@
+//! Ablation (DESIGN.md §6): semi-naive vs naive SchemaLog fixpoints on
+//! recursive transitive closure — the crossover grows with iteration
+//! depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tabular_relational::relation::{RelDatabase, Relation};
+use tabular_schemalog::{
+    eval::{eval, SlLimits, Strategy},
+    parser::parse,
+    quads::QuadDb,
+};
+
+/// A chain graph as a lowercase-named relation (the surface syntax reads
+/// bare uppercase tokens as variables).
+fn chain(len: usize) -> Relation {
+    let mut e = Relation::new("edge", &["from", "to"], &[]);
+    for i in 0..len {
+        e.insert(vec![
+            tabular_core::Symbol::value(&format!("n{i}")),
+            tabular_core::Symbol::value(&format!("n{}", i + 1)),
+        ])
+        .expect("arity");
+    }
+    e
+}
+
+fn bench(c: &mut Criterion) {
+    let program = parse(
+        "tc[T : from -> X, to -> Y] :- edge[T : from -> X, to -> Y].
+         tc[T : from -> X, to -> Z] :- tc[T : from -> X, to -> Y],
+                                       edge[U : from -> Y, to -> Z].",
+    )
+    .unwrap();
+    let limits = SlLimits::default();
+
+    let mut g = c.benchmark_group("ablation/seminaive_tc");
+    for &len in &[8usize, 16, 24] {
+        let quads = QuadDb::from_relations(&RelDatabase::from_relations([chain(len)]));
+        g.bench_with_input(BenchmarkId::new("seminaive", len), &quads, |b, q| {
+            b.iter(|| eval(&program, q, Strategy::SemiNaive, &limits).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("naive", len), &quads, |b, q| {
+            b.iter(|| eval(&program, q, Strategy::Naive, &limits).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

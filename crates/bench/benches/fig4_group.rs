@@ -1,0 +1,54 @@
+//! Figure 4: the GROUP operation, swept over input height. The grouped
+//! table has one copy of the grouped attributes per data row — Θ(m²)
+//! cells — so the sweep also documents the quadratic blow-up the paper's
+//! uneconomical intermediate representation implies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tabular_algebra::ops;
+use tabular_core::{fixtures, Symbol, SymbolSet};
+
+fn bench(c: &mut Criterion) {
+    let by = SymbolSet::from_iter([Symbol::name("Region")]);
+    let on = SymbolSet::from_iter([Symbol::name("Sold")]);
+    let name = Symbol::name("G");
+    let mut g = c.benchmark_group("fig4/group");
+    for &(p, r) in &[(4usize, 4usize), (8, 8), (16, 16), (32, 32)] {
+        let rel = fixtures::make_sales_relation(p, r);
+        g.throughput(Throughput::Elements(rel.height() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("rows={}", rel.height())),
+            &rel,
+            |b, rel| {
+                b.iter(|| ops::group(rel, &by, &on, name));
+            },
+        );
+    }
+    g.finish();
+
+    // The full §3.4 chain amortizes the blow-up away again.
+    let mut g = c.benchmark_group("fig4/group_cleanup_purge");
+    for &(p, r) in &[(4usize, 4usize), (8, 8), (16, 16), (32, 32)] {
+        let rel = fixtures::make_sales_relation(p, r);
+        let keys = SymbolSet::from_iter([Symbol::name("Part")]);
+        let null = SymbolSet::from_iter([tabular_core::Symbol::Null]);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("rows={}", rel.height())),
+            &rel,
+            |b, rel| {
+                b.iter(|| {
+                    let grouped = ops::group(rel, &by, &on, name);
+                    let cleaned = ops::cleanup(&grouped, &keys, &null, name);
+                    ops::purge(&cleaned, &on, &by, name)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 5: the MERGE operation on cross-tabs, swept over both axes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tabular_algebra::ops;
+use tabular_bench::SWEEP;
+use tabular_core::{fixtures, Symbol, SymbolSet};
+
+fn bench(c: &mut Criterion) {
+    let on = SymbolSet::from_iter([Symbol::name("Sold")]);
+    let by = SymbolSet::from_iter([Symbol::name("Region")]);
+    let name = Symbol::name("M");
+    let mut g = c.benchmark_group("fig5/merge");
+    for &(p, r) in SWEEP {
+        let cross = fixtures::make_sales_info2(p, r);
+        g.throughput(Throughput::Elements((p * r) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{p}x{r}")),
+            &cross,
+            |b, cross| {
+                b.iter(|| ops::merge(cross, &on, &by, name));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

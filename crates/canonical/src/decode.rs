@@ -1,0 +1,240 @@
+//! **Lemma 4.3**: decoding a canonical representation back into a tabular
+//! database — `D = Rep⁻¹(Rep(D))` up to permutations of the non-attribute
+//! rows and columns (which is exactly the paper's notion of database
+//! equality, §4.1 condition (ii)).
+
+use crate::encode::{data_name, map_name};
+use crate::error::{CanonError, Result};
+use std::collections::HashMap;
+use tabular_core::{Database, Symbol, Table};
+use tabular_relational::relation::RelDatabase;
+
+/// Reconstruct the tabular database from its canonical representation.
+///
+/// Row and column orders within each reconstructed table follow the
+/// canonical order of their occurrence identifiers, so the result is
+/// deterministic for a given `Rep` instance and equal to the original
+/// database up to row/column permutations.
+pub fn decode(rep: &RelDatabase) -> Result<Database> {
+    let data = rep
+        .get(data_name())
+        .ok_or(CanonError::MissingRelation(data_name()))?;
+    let map = rep
+        .get(map_name())
+        .ok_or(CanonError::MissingRelation(map_name()))?;
+    if data.arity() != 4 {
+        return Err(CanonError::BadArity {
+            relation: data_name(),
+            expected: 4,
+            got: data.arity(),
+        });
+    }
+    if map.arity() != 2 {
+        return Err(CanonError::BadArity {
+            relation: map_name(),
+            expected: 2,
+            got: map.arity(),
+        });
+    }
+
+    // Resolve columns by attribute name so that attribute order (which a
+    // TA-produced representation need not preserve) is irrelevant.
+    let (c_tbl, c_row, c_col, c_val) = (
+        data.attr_index(Symbol::name("Tbl"))?,
+        data.attr_index(Symbol::name("Row"))?,
+        data.attr_index(Symbol::name("Col"))?,
+        data.attr_index(Symbol::name("Val"))?,
+    );
+    let (c_id, c_entry) = (
+        map.attr_index(Symbol::name("Id"))?,
+        map.attr_index(Symbol::name("Entry"))?,
+    );
+
+    let mut entries: HashMap<Symbol, Symbol> = HashMap::new();
+    for t in map.tuples() {
+        if let Some(&prev) = entries.get(&t[c_id]) {
+            if prev != t[c_entry] {
+                return Err(CanonError::FdViolation("Id -> Entry"));
+            }
+        }
+        entries.insert(t[c_id], t[c_entry]);
+    }
+    let lookup = |id: Symbol| -> Result<Symbol> {
+        entries.get(&id).copied().ok_or(CanonError::UnmappedId(id))
+    };
+
+    // Group Data by table occurrence id, collecting row/column ids in
+    // first-appearance order of the (sorted) Data relation — deterministic.
+    struct Build {
+        rows: Vec<Symbol>,
+        cols: Vec<Symbol>,
+        cells: HashMap<(Symbol, Symbol), Symbol>,
+    }
+    let mut tables: Vec<(Symbol, Build)> = Vec::new();
+    for t in data.tuples() {
+        let (tbl, row, col, val) = (t[c_tbl], t[c_row], t[c_col], t[c_val]);
+        let build = match tables.iter_mut().find(|(id, _)| *id == tbl) {
+            Some((_, b)) => b,
+            None => {
+                tables.push((
+                    tbl,
+                    Build {
+                        rows: Vec::new(),
+                        cols: Vec::new(),
+                        cells: HashMap::new(),
+                    },
+                ));
+                &mut tables.last_mut().expect("just pushed").1
+            }
+        };
+        if !build.rows.contains(&row) {
+            build.rows.push(row);
+        }
+        if !build.cols.contains(&col) {
+            build.cols.push(col);
+        }
+        if build.cells.insert((row, col), val).is_some_and(|p| p != val) {
+            return Err(CanonError::FdViolation("Tbl, Row, Col -> Val"));
+        }
+    }
+
+    let mut out = Database::new();
+    for (tbl_id, build) in tables {
+        let mut table = Table::new(lookup(tbl_id)?, build.rows.len(), build.cols.len());
+        for (j, &col_id) in build.cols.iter().enumerate() {
+            table.set(0, j + 1, lookup(col_id)?);
+        }
+        for (i, &row_id) in build.rows.iter().enumerate() {
+            table.set(i + 1, 0, lookup(row_id)?);
+            for (j, &col_id) in build.cols.iter().enumerate() {
+                let val_id = build
+                    .cells
+                    .get(&(row_id, col_id))
+                    .copied()
+                    .ok_or(CanonError::IncompleteGrid {
+                        table: tbl_id,
+                        row: row_id,
+                        col: col_id,
+                    })?;
+                table.set(i + 1, j + 1, lookup(val_id)?);
+            }
+        }
+        out.insert(table);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use tabular_core::fixtures;
+    use tabular_relational::relation::Relation;
+
+    #[test]
+    fn round_trip_on_all_figure_1_databases() {
+        for db in [
+            fixtures::sales_info1(),
+            fixtures::sales_info1_full(),
+            fixtures::sales_info2(),
+            fixtures::sales_info2_full(),
+            fixtures::sales_info3(),
+            fixtures::sales_info3_full(),
+            fixtures::sales_info4(),
+            fixtures::sales_info4_full(),
+        ] {
+            let back = decode(&encode(&db)).unwrap();
+            assert!(back.equiv(&db), "round trip failed:\n{back}");
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_multi_table_names() {
+        let db = fixtures::make_sales_info4(6, 5);
+        let back = decode(&encode(&db)).unwrap();
+        assert!(back.equiv(&db));
+        assert_eq!(back.len(), 5);
+    }
+
+    #[test]
+    fn decode_requires_both_relations() {
+        let rep = RelDatabase::from_relations([Relation::new("Map", &["Id", "Entry"], &[])]);
+        assert!(matches!(
+            decode(&rep),
+            Err(CanonError::MissingRelation(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_arity() {
+        let rep = RelDatabase::from_relations([
+            Relation::new("Data", &["Tbl", "Row", "Col"], &[]),
+            Relation::new("Map", &["Id", "Entry"], &[]),
+        ]);
+        assert!(matches!(decode(&rep), Err(CanonError::BadArity { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_unmapped_ids() {
+        let rep = RelDatabase::from_relations([
+            Relation::new(
+                "Data",
+                &["Tbl", "Row", "Col", "Val"],
+                &[&["t", "r", "c", "v"]],
+            ),
+            Relation::new("Map", &["Id", "Entry"], &[]),
+        ]);
+        assert!(matches!(decode(&rep), Err(CanonError::UnmappedId(_))));
+    }
+
+    #[test]
+    fn decode_rejects_incomplete_grids() {
+        // Two rows, two cols, but only 3 of the 4 cells present.
+        let rep = RelDatabase::from_relations([
+            Relation::new(
+                "Data",
+                &["Tbl", "Row", "Col", "Val"],
+                &[
+                    &["t", "r1", "c1", "v1"],
+                    &["t", "r1", "c2", "v2"],
+                    &["t", "r2", "c1", "v3"],
+                ],
+            ),
+            Relation::new(
+                "Map",
+                &["Id", "Entry"],
+                &[
+                    &["t", "T"],
+                    &["r1", "_"],
+                    &["r2", "_"],
+                    &["c1", "A"],
+                    &["c2", "B"],
+                    &["v1", "1"],
+                    &["v2", "2"],
+                    &["v3", "3"],
+                ],
+            ),
+        ]);
+        assert!(matches!(
+            decode(&rep),
+            Err(CanonError::IncompleteGrid { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_is_insensitive_to_id_spelling() {
+        // Hand-written ids (not interner-fresh) decode fine.
+        let rep = RelDatabase::from_relations([
+            Relation::new("Data", &["Tbl", "Row", "Col", "Val"], &[&["t", "r", "c", "v"]]),
+            Relation::new(
+                "Map",
+                &["Id", "Entry"],
+                &[&["t", "n:T"], &["r", "_"], &["c", "n:A"], &["v", "42"]],
+            ),
+        ]);
+        let db = decode(&rep).unwrap();
+        let t = db.table_str("T").unwrap();
+        assert_eq!(t.get(1, 1), Symbol::value("42"));
+        assert!(t.get(1, 0).is_null());
+    }
+}

@@ -1,0 +1,91 @@
+//! Errors for canonical-representation encoding/decoding.
+
+use tabular_core::Symbol;
+
+/// Errors from decoding a canonical representation or running the
+/// normal-form pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanonError {
+    /// `Data` or `Map` is missing.
+    MissingRelation(Symbol),
+    /// A `Rep` relation has the wrong arity.
+    BadArity {
+        /// Which relation.
+        relation: Symbol,
+        /// Expected arity.
+        expected: usize,
+        /// Found arity.
+        got: usize,
+    },
+    /// A functional dependency of `Rep` is violated.
+    FdViolation(&'static str),
+    /// An occurrence id appears in `Data` but not in `Map`.
+    UnmappedId(Symbol),
+    /// A table's (row, column) grid has a hole — `Data` must be total on
+    /// rows × columns per table, since tables are total mappings.
+    IncompleteGrid {
+        /// Table occurrence id.
+        table: Symbol,
+        /// Row occurrence id.
+        row: Symbol,
+        /// Column occurrence id.
+        col: Symbol,
+    },
+    /// `encode_program` preconditions violated (see its docs).
+    UnsupportedShape(String),
+    /// An embedded relational error.
+    Rel(tabular_relational::RelError),
+    /// An embedded tabular algebra error.
+    Tabular(tabular_algebra::AlgebraError),
+}
+
+impl std::fmt::Display for CanonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CanonError::MissingRelation(r) => write!(f, "canonical representation lacks {r}"),
+            CanonError::BadArity {
+                relation,
+                expected,
+                got,
+            } => write!(f, "{relation} has arity {got}, expected {expected}"),
+            CanonError::FdViolation(fd) => write!(f, "functional dependency {fd} violated"),
+            CanonError::UnmappedId(id) => write!(f, "occurrence id {id} has no Map entry"),
+            CanonError::IncompleteGrid { table, row, col } => write!(
+                f,
+                "table {table}: no Data tuple for row {row}, column {col}"
+            ),
+            CanonError::UnsupportedShape(msg) => write!(f, "unsupported shape: {msg}"),
+            CanonError::Rel(e) => write!(f, "{e}"),
+            CanonError::Tabular(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CanonError {}
+
+impl From<tabular_relational::RelError> for CanonError {
+    fn from(e: tabular_relational::RelError) -> CanonError {
+        CanonError::Rel(e)
+    }
+}
+
+impl From<tabular_algebra::AlgebraError> for CanonError {
+    fn from(e: tabular_algebra::AlgebraError) -> CanonError {
+        CanonError::Tabular(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CanonError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CanonError::FdViolation("Id -> Entry")
+            .to_string()
+            .contains("Id -> Entry"));
+    }
+}

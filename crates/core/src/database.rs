@@ -1,0 +1,255 @@
+//! Tabular databases: sets of tables (paper §2).
+//!
+//! Several tables may share one name — the number of `Sales` tables in
+//! `SalesInfo4` (Figure 1) depends on the instance — so a database is a
+//! *set of tables*, not a name-indexed map. Exact duplicates are collapsed
+//! (set semantics); tables equal only up to row/column permutation are kept
+//! distinct until [`Database::canonicalize`] is applied.
+
+use crate::symbol::Symbol;
+use crate::table::Table;
+use crate::weak::SymbolSet;
+
+/// A set of [`Table`]s.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// The empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Build from tables, collapsing exact duplicates.
+    pub fn from_tables<I: IntoIterator<Item = Table>>(tables: I) -> Database {
+        let mut db = Database::new();
+        for t in tables {
+            db.insert(t);
+        }
+        db
+    }
+
+    /// Insert a table (no-op if an identical table is already present).
+    /// Returns `true` if the table was new.
+    pub fn insert(&mut self, table: Table) -> bool {
+        if self.tables.contains(&table) {
+            false
+        } else {
+            self.tables.push(table);
+            true
+        }
+    }
+
+    /// All tables, in insertion order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// All tables with the given name.
+    pub fn tables_named(&self, name: Symbol) -> Vec<&Table> {
+        self.tables.iter().filter(|t| t.name() == name).collect()
+    }
+
+    /// The unique table with the given name; `None` if there are zero or
+    /// several.
+    pub fn table(&self, name: Symbol) -> Option<&Table> {
+        let mut found = self.tables.iter().filter(|t| t.name() == name);
+        let first = found.next()?;
+        if found.next().is_some() {
+            None
+        } else {
+            Some(first)
+        }
+    }
+
+    /// Shorthand: the unique table named `name`, by string.
+    pub fn table_str(&self, name: &str) -> Option<&Table> {
+        self.table(Symbol::name(name))
+    }
+
+    /// Remove all tables with the given name; returns how many were
+    /// removed.
+    pub fn remove_named(&mut self, name: Symbol) -> usize {
+        let before = self.tables.len();
+        self.tables.retain(|t| t.name() != name);
+        before - self.tables.len()
+    }
+
+    /// Keep only tables satisfying the predicate.
+    pub fn retain(&mut self, pred: impl FnMut(&Table) -> bool) {
+        self.tables.retain(pred);
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The set of table names occurring in the database. Any finite
+    /// superset of this is a *scheme* for the database (paper §4.1).
+    pub fn names(&self) -> SymbolSet {
+        SymbolSet::from_iter(self.tables.iter().map(|t| t.name()))
+    }
+
+    /// `|D|`: the set of all symbols occurring in the database (⊥
+    /// excluded, as the paper's morphisms always fix ⊥).
+    pub fn symbols(&self) -> SymbolSet {
+        SymbolSet::from_iter(
+            self.tables
+                .iter()
+                .flat_map(|t| t.symbols())
+                .filter(|s| !s.is_null()),
+        )
+    }
+
+    /// Insert all tables of `other`.
+    pub fn absorb(&mut self, other: Database) {
+        for t in other.tables {
+            self.insert(t);
+        }
+    }
+
+    /// Canonicalize every table, sort the set, and collapse duplicates:
+    /// a normal form for the paper's equality "up to permutations of the
+    /// non-attribute rows and columns" (§4.1).
+    pub fn canonicalize(&self) -> Database {
+        let mut tables: Vec<Table> = self.tables.iter().map(Table::canonicalize).collect();
+        tables.sort_by(|a, b| {
+            a.name()
+                .canonical_cmp(b.name())
+                .then_with(|| a.height().cmp(&b.height()))
+                .then_with(|| a.width().cmp(&b.width()))
+                .then_with(|| cmp_tables(a, b))
+        });
+        tables.dedup();
+        Database { tables }
+    }
+
+    /// Equality up to per-table row/column permutations and table order.
+    pub fn equiv(&self, other: &Database) -> bool {
+        self.canonicalize() == other.canonicalize()
+    }
+
+    /// Apply `f` to every symbol of every table (used to realize the
+    /// morphisms of §4.1 in tests).
+    pub fn map_symbols(&self, mut f: impl FnMut(Symbol) -> Symbol) -> Database {
+        Database {
+            tables: self.tables.iter().map(|t| t.map_symbols(&mut f)).collect(),
+        }
+    }
+
+    /// Total number of cells across all tables (a size measure for
+    /// benchmarks).
+    pub fn cell_count(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| (t.height() + 1) * (t.width() + 1))
+            .sum()
+    }
+}
+
+fn cmp_tables(a: &Table, b: &Table) -> std::cmp::Ordering {
+    for i in 0..=a.height().min(b.height()) {
+        for (x, y) in a.storage_row(i).iter().zip(b.storage_row(i)) {
+            let c = x.canonical_cmp(*y);
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+impl FromIterator<Table> for Database {
+    fn from_iter<I: IntoIterator<Item = Table>>(iter: I) -> Database {
+        Database::from_tables(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(name: &str, val: &str) -> Table {
+        Table::relational(name, &["A"], &[&[val]])
+    }
+
+    #[test]
+    fn set_semantics_collapse_exact_duplicates() {
+        let mut db = Database::new();
+        assert!(db.insert(t("R", "1")));
+        assert!(!db.insert(t("R", "1")));
+        assert!(db.insert(t("R", "2")));
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn multiple_tables_may_share_a_name() {
+        let db = Database::from_tables([t("Sales", "1"), t("Sales", "2"), t("Other", "3")]);
+        assert_eq!(db.tables_named(Symbol::name("Sales")).len(), 2);
+        assert!(db.table(Symbol::name("Sales")).is_none());
+        assert!(db.table_str("Other").is_some());
+    }
+
+    #[test]
+    fn names_and_symbols() {
+        let db = Database::from_tables([t("R", "1"), t("S", "2")]);
+        let names = db.names();
+        assert!(names.contains(Symbol::name("R")));
+        assert!(names.contains(Symbol::name("S")));
+        assert_eq!(names.len(), 2);
+        let syms = db.symbols();
+        assert!(syms.contains(Symbol::value("1")));
+        assert!(syms.contains(Symbol::name("A")));
+        assert!(!syms.contains(Symbol::Null));
+    }
+
+    #[test]
+    fn equiv_up_to_permutation_and_order() {
+        let a = Table::relational("R", &["A", "B"], &[&["1", "2"], &["3", "4"]]);
+        let a_perm = a.select_rows(&[2, 1]);
+        let db1 = Database::from_tables([a, t("S", "x")]);
+        let db2 = Database::from_tables([t("S", "x"), a_perm]);
+        assert!(db1.equiv(&db2));
+        assert!(!db1.equiv(&Database::from_tables([t("S", "x")])));
+    }
+
+    #[test]
+    fn canonicalize_collapses_permuted_duplicates() {
+        let a = Table::relational("R", &["A"], &[&["1"], &["2"]]);
+        let b = a.select_rows(&[2, 1]);
+        let db = Database::from_tables([a, b]);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.canonicalize().len(), 1);
+    }
+
+    #[test]
+    fn remove_and_retain() {
+        let mut db = Database::from_tables([t("R", "1"), t("R", "2"), t("S", "3")]);
+        assert_eq!(db.remove_named(Symbol::name("R")), 2);
+        assert_eq!(db.len(), 1);
+        db.retain(|tab| tab.name() != Symbol::name("S"));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn absorb_unions_table_sets() {
+        let mut a = Database::from_tables([t("R", "1")]);
+        a.absorb(Database::from_tables([t("R", "1"), t("S", "2")]));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn cell_count_counts_attribute_cells() {
+        let db = Database::from_tables([t("R", "1")]);
+        // 1 data row + attr row, 1 data col + attr col: 2×2 = 4.
+        assert_eq!(db.cell_count(), 4);
+    }
+}

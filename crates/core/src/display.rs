@@ -1,0 +1,91 @@
+//! ASCII rendering of tables and databases in the style of the paper's
+//! figures: a box with rules after the attribute row and the attribute
+//! column.
+
+use crate::database::Database;
+use crate::table::Table;
+use std::fmt;
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (h, w) = (self.height(), self.width());
+        // Column text widths.
+        let mut widths = vec![0usize; w + 1];
+        for i in 0..=h {
+            for (j, width) in widths.iter_mut().enumerate() {
+                let cell = self.get(i, j).to_string();
+                *width = (*width).max(cell.chars().count());
+            }
+        }
+        let rule = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for cw in &widths {
+                for _ in 0..cw + 2 {
+                    write!(f, "-")?;
+                }
+                write!(f, "+")?;
+            }
+            writeln!(f)
+        };
+        rule(f)?;
+        for i in 0..=h {
+            write!(f, "|")?;
+            for (j, cw) in widths.iter().enumerate() {
+                let cell = self.get(i, j).to_string();
+                let pad = cw - cell.chars().count();
+                write!(f, " {}{} |", cell, " ".repeat(pad))?;
+            }
+            writeln!(f)?;
+            if i == 0 {
+                rule(f)?;
+            }
+        }
+        rule(f)
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, t) in self.tables().iter().enumerate() {
+            if k > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_with_rules() {
+        let t = Table::relational("Sales", &["Part", "Sold"], &[&["nuts", "50"]]);
+        let s = t.to_string();
+        assert!(s.contains("Sales"));
+        assert!(s.contains("| nuts"));
+        assert!(s.contains("⊥"), "null row attribute rendered: {s}");
+        // Three rules: top, after attribute row, bottom.
+        assert_eq!(s.lines().filter(|l| l.starts_with('+')).count(), 3);
+    }
+
+    #[test]
+    fn database_renders_all_tables() {
+        let db = Database::from_tables([
+            Table::relational("R", &["A"], &[&["1"]]),
+            Table::relational("S", &["B"], &[&["2"]]),
+        ]);
+        let s = db.to_string();
+        assert!(s.contains("R") && s.contains("S"));
+    }
+
+    #[test]
+    fn wide_cells_align() {
+        let t = Table::relational("T", &["LongAttribute"], &[&["x"]]);
+        let s = t.to_string();
+        let lens: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "ragged render:\n{s}");
+    }
+}

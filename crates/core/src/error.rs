@@ -1,0 +1,83 @@
+//! Error types for the tabular model.
+
+use std::fmt;
+
+/// Errors arising while constructing or manipulating tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A grid passed to [`Table::from_grid`](crate::Table::from_grid) had
+    /// rows of differing lengths.
+    RaggedGrid {
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        got: usize,
+        /// Expected length (that of row 0).
+        expected: usize,
+    },
+    /// A grid had no rows or no columns; a table always has at least the
+    /// name position (0,0).
+    EmptyGrid,
+    /// A position outside the table was addressed.
+    OutOfBounds {
+        /// Row index requested.
+        row: usize,
+        /// Column index requested.
+        col: usize,
+        /// Table height (max row index).
+        height: usize,
+        /// Table width (max column index).
+        width: usize,
+    },
+    /// User input used the reserved fresh-symbol prefix.
+    ReservedSymbol(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::RaggedGrid { row, got, expected } => write!(
+                f,
+                "ragged grid: row {row} has {got} cells, expected {expected}"
+            ),
+            CoreError::EmptyGrid => write!(f, "empty grid: a table needs at least the name cell"),
+            CoreError::OutOfBounds {
+                row,
+                col,
+                height,
+                width,
+            } => write!(
+                f,
+                "position ({row},{col}) outside table of height {height}, width {width}"
+            ),
+            CoreError::ReservedSymbol(s) => {
+                write!(f, "symbol {s:?} uses the reserved fresh-value prefix")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = CoreError::RaggedGrid {
+            row: 2,
+            got: 3,
+            expected: 4,
+        };
+        assert!(e.to_string().contains("row 2"));
+        assert!(CoreError::EmptyGrid.to_string().contains("empty"));
+        let o = CoreError::OutOfBounds {
+            row: 5,
+            col: 6,
+            height: 2,
+            width: 2,
+        };
+        assert!(o.to_string().contains("(5,6)"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Errors for the GOOD substrate.
+
+/// GOOD errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoodError {
+    /// An operation referenced a variable its pattern does not bind.
+    UnknownVariable(u32),
+    /// A fixpoint loop exceeded its iteration bound.
+    FixpointLimit(usize),
+    /// The tabular embedding lacks the `Node`/`Edge` relations or they
+    /// have the wrong shape.
+    BadEmbedding(String),
+    /// This construct is outside the compiled fragment (see
+    /// `compile::compile_good`).
+    Untranslatable(String),
+    /// Error from the relational / tabular layers.
+    Rel(tabular_relational::RelError),
+    /// Error from the tabular algebra interpreter.
+    Tabular(tabular_algebra::AlgebraError),
+}
+
+impl std::fmt::Display for GoodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GoodError::UnknownVariable(v) => write!(f, "pattern does not bind variable {v}"),
+            GoodError::FixpointLimit(n) => write!(f, "fixpoint exceeded {n} iterations"),
+            GoodError::BadEmbedding(msg) => write!(f, "bad tabular embedding: {msg}"),
+            GoodError::Untranslatable(msg) => write!(f, "not in the compiled fragment: {msg}"),
+            GoodError::Rel(e) => write!(f, "{e}"),
+            GoodError::Tabular(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GoodError {}
+
+impl From<tabular_relational::RelError> for GoodError {
+    fn from(e: tabular_relational::RelError) -> GoodError {
+        GoodError::Rel(e)
+    }
+}
+
+impl From<tabular_algebra::AlgebraError> for GoodError {
+    fn from(e: tabular_algebra::AlgebraError) -> GoodError {
+        GoodError::Tabular(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, GoodError>;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn display() {
+        assert!(super::GoodError::UnknownVariable(3)
+            .to_string()
+            .contains('3'));
+    }
+}

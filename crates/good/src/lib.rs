@@ -1,0 +1,55 @@
+//! # tabular-good
+//!
+//! The **GOOD** graph-oriented object database model (Gyssens, Paredaens &
+//! Van Gucht, PODS 1990) and its embedding into the tabular model —
+//! contribution (4) of *Tables as a Paradigm for Querying and
+//! Restructuring* (PODS 1996): "the graph-based object-oriented data model
+//! GOOD can be embedded within the tabular database model; in particular,
+//! every GOOD query can be expressed in the tabular algebra."
+//!
+//! * [`graph`] — object bases: directed graphs with labeled nodes
+//!   (objects) and edges, object identities as first-class symbols;
+//! * [`pattern`] — patterns and their embeddings (graph homomorphisms);
+//! * [`ops`] — the five GOOD operations (node/edge addition, node/edge
+//!   deletion, abstraction) and programs with fixpoint loops;
+//! * [`embed`] — the lossless embedding `Graph ↔ {Node(Id,Label),
+//!   Edge(Src,Lab,Dst)}` into the tabular model;
+//! * [`compile`] — compilation of GOOD programs into `FO + while + new`
+//!   and thence (Theorem 4.1) into the tabular algebra; abstraction, the
+//!   set-creating operation, stays native (it corresponds to TA's
+//!   exponential `set-new`).
+//!
+//! ```
+//! use tabular_good::{graph::Graph, ops::{GoodOp, GoodProgram}, pattern::Pattern};
+//! use tabular_core::Symbol;
+//!
+//! let mut g = Graph::new();
+//! let a = g.add_node(Symbol::name("Person"));
+//! let b = g.add_node(Symbol::name("Person"));
+//! g.add_edge(a, Symbol::name("parent"), b);
+//!
+//! let derive = GoodProgram::new().op(GoodOp::EdgeAddition {
+//!     pattern: Pattern::new().node(0, "Person").node(1, "Person").edge(0, "parent", 1),
+//!     label: Symbol::name("child_of"),
+//!     from: 1,
+//!     to: 0,
+//! });
+//! let out = derive.run(&g, 100).unwrap();
+//! assert!(out.has_edge(b, Symbol::name("child_of"), a));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod embed;
+pub mod error;
+pub mod graph;
+pub mod ops;
+pub mod pattern;
+
+pub use compile::{compile_good, run_via_ta};
+pub use embed::{from_tabular, to_tabular};
+pub use error::GoodError;
+pub use graph::Graph;
+pub use ops::{GoodOp, GoodProgram, GoodStatement};
+pub use pattern::{Embedding, Pattern};

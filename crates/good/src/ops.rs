@@ -1,0 +1,520 @@
+//! The five GOOD operations and GOOD programs.
+//!
+//! Each operation is driven by the embeddings of a pattern:
+//!
+//! * **node addition (NA)** — one new node per distinct image of the
+//!   designated *key* variables, wired to those images by the specified
+//!   edges; guarded so that re-running is a no-op (the guard is what makes
+//!   GOOD fixpoint loops terminate);
+//! * **edge addition (EA)** — an edge between two images per embedding;
+//! * **node deletion (ND)** — delete the images of a designated variable;
+//! * **edge deletion (ED)** — delete the matched edge instances;
+//! * **abstraction (AB)** — one new node per equivalence class of nodes
+//!   sharing the same `via`-successor set, linked to the class members
+//!   (the set-creating operation, mirroring the tabular algebra's
+//!   set-new).
+//!
+//! Programs are sequences of operations plus a `Loop` construct iterating
+//! its body until the graph stops changing.
+
+use crate::error::{GoodError, Result};
+use crate::graph::Graph;
+use crate::pattern::Pattern;
+use tabular_core::Symbol;
+
+/// One GOOD operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GoodOp {
+    /// Node addition.
+    NodeAddition {
+        /// Match pattern.
+        pattern: Pattern,
+        /// Label of the created nodes.
+        label: Symbol,
+        /// Edges from the new node: `(edge label, pattern variable)`.
+        edges: Vec<(Symbol, u32)>,
+        /// Key variables: one node per distinct image of these (defaults
+        /// to the variables referenced by `edges` when empty).
+        key: Vec<u32>,
+    },
+    /// Edge addition.
+    EdgeAddition {
+        /// Match pattern.
+        pattern: Pattern,
+        /// New edge label.
+        label: Symbol,
+        /// Source variable.
+        from: u32,
+        /// Target variable.
+        to: u32,
+    },
+    /// Node deletion.
+    NodeDeletion {
+        /// Match pattern.
+        pattern: Pattern,
+        /// Variable whose images are deleted.
+        target: u32,
+    },
+    /// Edge deletion.
+    EdgeDeletion {
+        /// Match pattern.
+        pattern: Pattern,
+        /// Source variable.
+        from: u32,
+        /// Edge label to delete.
+        label: Symbol,
+        /// Target variable.
+        to: u32,
+    },
+    /// Abstraction.
+    Abstraction {
+        /// Label of the nodes being abstracted.
+        node_label: Symbol,
+        /// Edge label whose successor sets define the equivalence.
+        via: Symbol,
+        /// Label of the created class nodes.
+        label: Symbol,
+        /// Edge label from class node to members.
+        link: Symbol,
+    },
+}
+
+/// A statement: an operation or a loop-to-fixpoint.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GoodStatement {
+    /// Apply one operation.
+    Op(GoodOp),
+    /// Iterate the body until the graph stops changing.
+    Loop(Vec<GoodStatement>),
+}
+
+/// A GOOD program.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct GoodProgram {
+    /// Statements in order.
+    pub statements: Vec<GoodStatement>,
+}
+
+impl GoodProgram {
+    /// Empty program.
+    pub fn new() -> GoodProgram {
+        GoodProgram::default()
+    }
+
+    /// Builder: append an operation.
+    pub fn op(mut self, op: GoodOp) -> GoodProgram {
+        self.statements.push(GoodStatement::Op(op));
+        self
+    }
+
+    /// Builder: append a fixpoint loop.
+    pub fn fixpoint(mut self, body: GoodProgram) -> GoodProgram {
+        self.statements.push(GoodStatement::Loop(body.statements));
+        self
+    }
+
+    /// Run the program. `max_iters` bounds every loop.
+    pub fn run(&self, g: &Graph, max_iters: usize) -> Result<Graph> {
+        let mut graph = g.clone();
+        run_statements(&self.statements, &mut graph, max_iters)?;
+        Ok(graph)
+    }
+}
+
+fn run_statements(
+    stmts: &[GoodStatement],
+    g: &mut Graph,
+    max_iters: usize,
+) -> Result<()> {
+    for stmt in stmts {
+        match stmt {
+            GoodStatement::Op(op) => apply(op, g)?,
+            GoodStatement::Loop(body) => {
+                let mut iters = 0usize;
+                loop {
+                    let before = (g.node_count(), g.edge_count(), g.edges().to_vec());
+                    run_statements(body, g, max_iters)?;
+                    let after = (g.node_count(), g.edge_count(), g.edges().to_vec());
+                    if before == after {
+                        break;
+                    }
+                    iters += 1;
+                    if iters > max_iters {
+                        return Err(GoodError::FixpointLimit(max_iters));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Apply one operation in place.
+pub fn apply(op: &GoodOp, g: &mut Graph) -> Result<()> {
+    match op {
+        GoodOp::NodeAddition {
+            pattern,
+            label,
+            edges,
+            key,
+        } => {
+            let key_vars: Vec<u32> = if key.is_empty() {
+                let mut vs: Vec<u32> = edges.iter().map(|&(_, v)| v).collect();
+                vs.sort_unstable();
+                vs.dedup();
+                vs
+            } else {
+                key.clone()
+            };
+            for v in edges.iter().map(|&(_, v)| v).chain(key_vars.iter().copied()) {
+                if !pattern.vars().contains(&v) {
+                    return Err(GoodError::UnknownVariable(v));
+                }
+            }
+            // Distinct key images, in embedding order.
+            let mut seen: Vec<Vec<Symbol>> = Vec::new();
+            for emb in pattern.embeddings(g) {
+                let image: Vec<Symbol> = key_vars.iter().map(|v| emb[v]).collect();
+                if seen.contains(&image) {
+                    continue;
+                }
+                seen.push(image);
+                // The wiring the new node would get.
+                let wiring: Vec<(Symbol, Symbol)> =
+                    edges.iter().map(|&(l, v)| (l, emb[&v])).collect();
+                // Guard: skip if an equally-labeled node with exactly this
+                // wiring already exists (GOOD's no-duplicate semantics,
+                // which makes fixpoint loops terminate).
+                let exists = g.nodes_labeled(*label).into_iter().any(|n| {
+                    let mut out: Vec<(Symbol, Symbol)> = g
+                        .edges()
+                        .iter()
+                        .filter(|&&(s, _, _)| s == n)
+                        .map(|&(_, l, d)| (l, d))
+                        .collect();
+                    out.sort();
+                    let mut want = wiring.clone();
+                    want.sort();
+                    out == want
+                });
+                if exists {
+                    continue;
+                }
+                let new = g.add_node(*label);
+                for (l, target) in wiring {
+                    g.add_edge(new, l, target);
+                }
+            }
+            Ok(())
+        }
+        GoodOp::EdgeAddition {
+            pattern,
+            label,
+            from,
+            to,
+        } => {
+            for v in [from, to] {
+                if !pattern.vars().contains(v) {
+                    return Err(GoodError::UnknownVariable(*v));
+                }
+            }
+            let additions: Vec<(Symbol, Symbol)> = pattern
+                .embeddings(g)
+                .into_iter()
+                .map(|emb| (emb[from], emb[to]))
+                .collect();
+            for (s, d) in additions {
+                g.add_edge(s, *label, d);
+            }
+            Ok(())
+        }
+        GoodOp::NodeDeletion { pattern, target } => {
+            if !pattern.vars().contains(target) {
+                return Err(GoodError::UnknownVariable(*target));
+            }
+            let doomed: Vec<Symbol> = pattern
+                .embeddings(g)
+                .into_iter()
+                .map(|emb| emb[target])
+                .collect();
+            for id in doomed {
+                g.delete_node(id);
+            }
+            Ok(())
+        }
+        GoodOp::EdgeDeletion {
+            pattern,
+            from,
+            label,
+            to,
+        } => {
+            for v in [from, to] {
+                if !pattern.vars().contains(v) {
+                    return Err(GoodError::UnknownVariable(*v));
+                }
+            }
+            let doomed: Vec<(Symbol, Symbol)> = pattern
+                .embeddings(g)
+                .into_iter()
+                .map(|emb| (emb[from], emb[to]))
+                .collect();
+            for (s, d) in doomed {
+                g.delete_edge(s, *label, d);
+            }
+            Ok(())
+        }
+        GoodOp::Abstraction {
+            node_label,
+            via,
+            label,
+            link,
+        } => {
+            // Group the node_label-nodes by their via-successor sets.
+            let mut classes: Vec<(Vec<Symbol>, Vec<Symbol>)> = Vec::new();
+            for n in g.nodes_labeled(*node_label) {
+                let key = g.successors(n, *via);
+                match classes.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, members)) => members.push(n),
+                    None => classes.push((key, vec![n])),
+                }
+            }
+            for (_, members) in classes {
+                // Guard: an existing class node already linking exactly
+                // these members?
+                let exists = g.nodes_labeled(*label).into_iter().any(|c| {
+                    let mut linked = g.successors(c, *link);
+                    linked.sort();
+                    let mut want = members.clone();
+                    want.sort();
+                    linked == want
+                });
+                if exists {
+                    continue;
+                }
+                let class = g.add_node(*label);
+                for m in members {
+                    g.add_edge(class, *link, m);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nm(s: &str) -> Symbol {
+        Symbol::name(s)
+    }
+
+    fn family() -> (Graph, Symbol, Symbol, Symbol) {
+        let mut g = Graph::new();
+        let a = g.add_node(nm("Person"));
+        let b = g.add_node(nm("Person"));
+        let c = g.add_node(nm("Person"));
+        g.add_edge(a, nm("parent"), b);
+        g.add_edge(b, nm("parent"), c);
+        (g, a, b, c)
+    }
+
+    fn grandparent_pattern() -> Pattern {
+        Pattern::new()
+            .node(0, "Person")
+            .node(1, "Person")
+            .node(2, "Person")
+            .edge(0, "parent", 1)
+            .edge(1, "parent", 2)
+    }
+
+    #[test]
+    fn edge_addition_derives_grandparent() {
+        let (g, a, _, c) = family();
+        let p = GoodProgram::new().op(GoodOp::EdgeAddition {
+            pattern: grandparent_pattern(),
+            label: nm("grandparent"),
+            from: 0,
+            to: 2,
+        });
+        let out = p.run(&g, 100).unwrap();
+        assert!(out.has_edge(a, nm("grandparent"), c));
+        assert_eq!(out.edge_count(), 3);
+    }
+
+    #[test]
+    fn node_addition_creates_one_node_per_key_image() {
+        // A "Parenthood" object per (parent, child) pair.
+        let (g, ..) = family();
+        let pattern = Pattern::new()
+            .node(0, "Person")
+            .node(1, "Person")
+            .edge(0, "parent", 1);
+        let p = GoodProgram::new().op(GoodOp::NodeAddition {
+            pattern,
+            label: nm("Parenthood"),
+            edges: vec![(nm("of"), 0), (nm("child"), 1)],
+            key: vec![],
+        });
+        let out = p.run(&g, 100).unwrap();
+        assert_eq!(out.nodes_labeled(nm("Parenthood")).len(), 2);
+        assert_eq!(out.edge_count(), 2 + 4);
+    }
+
+    #[test]
+    fn node_addition_is_idempotent() {
+        let (g, ..) = family();
+        let pattern = Pattern::new().node(0, "Person");
+        let op = GoodOp::NodeAddition {
+            pattern,
+            label: nm("Tag"),
+            edges: vec![(nm("tags"), 0)],
+            key: vec![],
+        };
+        let p = GoodProgram::new().op(op.clone()).op(op);
+        let out = p.run(&g, 100).unwrap();
+        assert_eq!(out.nodes_labeled(nm("Tag")).len(), 3);
+    }
+
+    #[test]
+    fn node_deletion_removes_images_and_edges() {
+        let (g, _, b, _) = family();
+        // Delete every person with a parent edge in *and* out (the middle
+        // generation).
+        let pattern = Pattern::new()
+            .node(0, "Person")
+            .node(1, "Person")
+            .node(2, "Person")
+            .edge(0, "parent", 1)
+            .edge(1, "parent", 2);
+        let p = GoodProgram::new().op(GoodOp::NodeDeletion {
+            pattern,
+            target: 1,
+        });
+        let out = p.run(&g, 100).unwrap();
+        assert_eq!(out.node_count(), 2);
+        assert_eq!(out.edge_count(), 0);
+        assert!(out.label_of(b).is_none());
+    }
+
+    #[test]
+    fn edge_deletion_removes_matched_edges_only() {
+        let (g, a, b, _) = family();
+        let pattern = Pattern::new()
+            .node(0, "Person")
+            .node(1, "Person")
+            .edge(0, "parent", 1);
+        // Delete only the edges out of nodes that themselves have a parent
+        // edge pointing at them — i.e. b → c.
+        let pattern = pattern
+            .node(2, "Person")
+            .edge(2, "parent", 0);
+        let p = GoodProgram::new().op(GoodOp::EdgeDeletion {
+            pattern,
+            from: 0,
+            label: nm("parent"),
+            to: 1,
+        });
+        let out = p.run(&g, 100).unwrap();
+        assert_eq!(out.edge_count(), 1);
+        assert!(out.has_edge(a, nm("parent"), b));
+    }
+
+    #[test]
+    fn abstraction_groups_by_neighborhood() {
+        let mut g = Graph::new();
+        let t1 = g.add_node(nm("Topic"));
+        let t2 = g.add_node(nm("Topic"));
+        let p1 = g.add_node(nm("Paper"));
+        let p2 = g.add_node(nm("Paper"));
+        let p3 = g.add_node(nm("Paper"));
+        g.add_edge(p1, nm("about"), t1);
+        g.add_edge(p2, nm("about"), t1);
+        g.add_edge(p3, nm("about"), t2);
+        let p = GoodProgram::new().op(GoodOp::Abstraction {
+            node_label: nm("Paper"),
+            via: nm("about"),
+            label: nm("Area"),
+            link: nm("contains"),
+        });
+        let out = p.run(&g, 100).unwrap();
+        // Two classes: {p1, p2} (about t1) and {p3} (about t2).
+        let areas = out.nodes_labeled(nm("Area"));
+        assert_eq!(areas.len(), 2);
+        let sizes: Vec<usize> = areas
+            .iter()
+            .map(|&a| out.successors(a, nm("contains")).len())
+            .collect();
+        let mut sizes = sizes;
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2]);
+    }
+
+    #[test]
+    fn fixpoint_loop_computes_transitive_closure() {
+        // ancestor edges: seed with parent, extend until fixpoint.
+        let (g, a, _, c) = family();
+        let seed = GoodOp::EdgeAddition {
+            pattern: Pattern::new()
+                .node(0, "Person")
+                .node(1, "Person")
+                .edge(0, "parent", 1),
+            label: nm("ancestor"),
+            from: 0,
+            to: 1,
+        };
+        let extend = GoodOp::EdgeAddition {
+            pattern: Pattern::new()
+                .node(0, "Person")
+                .node(1, "Person")
+                .node(2, "Person")
+                .edge(0, "ancestor", 1)
+                .edge(1, "ancestor", 2),
+            label: nm("ancestor"),
+            from: 0,
+            to: 2,
+        };
+        let p = GoodProgram::new()
+            .op(seed)
+            .fixpoint(GoodProgram::new().op(extend));
+        let out = p.run(&g, 100).unwrap();
+        assert!(out.has_edge(a, nm("ancestor"), c));
+        // parent(2) + ancestor(3)
+        assert_eq!(out.edge_count(), 5);
+    }
+
+    #[test]
+    fn diverging_loop_hits_the_limit() {
+        // NA keyed on *all* nodes of a label that itself creates: each
+        // round adds a node of the matched label, so the loop never
+        // stabilizes.
+        let mut g = Graph::new();
+        g.add_node(nm("Seed"));
+        let grower = GoodOp::NodeAddition {
+            pattern: Pattern::new().node(0, "Seed"),
+            label: nm("Seed"),
+            edges: vec![(nm("from"), 0)],
+            key: vec![0],
+        };
+        let p = GoodProgram::new().fixpoint(GoodProgram::new().op(grower));
+        assert!(matches!(
+            p.run(&g, 5),
+            Err(GoodError::FixpointLimit(5))
+        ));
+    }
+
+    #[test]
+    fn unknown_variables_are_reported() {
+        let (g, ..) = family();
+        let bad = GoodOp::EdgeAddition {
+            pattern: Pattern::new().node(0, "Person"),
+            label: nm("x"),
+            from: 0,
+            to: 9,
+        };
+        assert!(matches!(
+            GoodProgram::new().op(bad).run(&g, 10),
+            Err(GoodError::UnknownVariable(9))
+        ));
+    }
+}

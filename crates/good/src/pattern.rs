@@ -1,0 +1,173 @@
+//! GOOD patterns and their embeddings.
+//!
+//! A pattern is itself a small graph over *variables*; its semantics on an
+//! object base is the set of graph homomorphisms (label-respecting maps
+//! from pattern variables to object identities). Every GOOD operation is
+//! driven by the embeddings of its pattern.
+
+use crate::graph::Graph;
+use std::collections::HashMap;
+use tabular_core::Symbol;
+
+/// A pattern node: a variable with a required node label.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PNode {
+    /// Variable identifier (pattern-local).
+    pub var: u32,
+    /// Required node label.
+    pub label: Symbol,
+}
+
+/// A pattern: labeled variable nodes and labeled edges between them.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Pattern {
+    /// The variable nodes.
+    pub nodes: Vec<PNode>,
+    /// Edges `(from-var, edge label, to-var)`.
+    pub edges: Vec<(u32, Symbol, u32)>,
+}
+
+/// An embedding: a map from pattern variables to object identities.
+pub type Embedding = HashMap<u32, Symbol>;
+
+impl Pattern {
+    /// Empty pattern (matches once, with the empty embedding).
+    pub fn new() -> Pattern {
+        Pattern::default()
+    }
+
+    /// Builder: add a variable node.
+    pub fn node(mut self, var: u32, label: &str) -> Pattern {
+        self.nodes.push(PNode {
+            var,
+            label: Symbol::name(label),
+        });
+        self
+    }
+
+    /// Builder: add an edge.
+    pub fn edge(mut self, from: u32, label: &str, to: u32) -> Pattern {
+        self.edges.push((from, Symbol::name(label), to));
+        self
+    }
+
+    /// The variable set, in declaration order.
+    pub fn vars(&self) -> Vec<u32> {
+        self.nodes.iter().map(|n| n.var).collect()
+    }
+
+    /// Enumerate all embeddings of the pattern into the graph
+    /// (homomorphisms: distinct variables may map to the same object).
+    pub fn embeddings(&self, g: &Graph) -> Vec<Embedding> {
+        let mut out = Vec::new();
+        let mut partial: Embedding = HashMap::new();
+        self.extend(g, 0, &mut partial, &mut out);
+        out
+    }
+
+    fn extend(
+        &self,
+        g: &Graph,
+        k: usize,
+        partial: &mut Embedding,
+        out: &mut Vec<Embedding>,
+    ) {
+        if k == self.nodes.len() {
+            // Check the edges (node labels were enforced on assignment).
+            let ok = self.edges.iter().all(|&(u, l, w)| {
+                match (partial.get(&u), partial.get(&w)) {
+                    (Some(&su), Some(&sw)) => g.has_edge(su, l, sw),
+                    _ => false,
+                }
+            });
+            if ok {
+                out.push(partial.clone());
+            }
+            return;
+        }
+        let pn = self.nodes[k];
+        if let Some(&bound) = partial.get(&pn.var) {
+            // Repeated variable declaration: labels must agree.
+            if g.label_of(bound) == Some(pn.label) {
+                self.extend(g, k + 1, partial, out);
+            }
+            return;
+        }
+        for id in g.nodes_labeled(pn.label) {
+            partial.insert(pn.var, id);
+            self.extend(g, k + 1, partial, out);
+            partial.remove(&pn.var);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family() -> (Graph, Symbol, Symbol, Symbol) {
+        let mut g = Graph::new();
+        let a = g.add_node(Symbol::name("Person"));
+        let b = g.add_node(Symbol::name("Person"));
+        let c = g.add_node(Symbol::name("Person"));
+        g.add_edge(a, Symbol::name("parent"), b);
+        g.add_edge(b, Symbol::name("parent"), c);
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn single_node_pattern_matches_per_label() {
+        let (g, ..) = family();
+        let p = Pattern::new().node(0, "Person");
+        assert_eq!(p.embeddings(&g).len(), 3);
+        let q = Pattern::new().node(0, "Robot");
+        assert!(q.embeddings(&g).is_empty());
+    }
+
+    #[test]
+    fn path_pattern_finds_grandparents() {
+        let (g, a, b, c) = family();
+        let p = Pattern::new()
+            .node(0, "Person")
+            .node(1, "Person")
+            .node(2, "Person")
+            .edge(0, "parent", 1)
+            .edge(1, "parent", 2);
+        let embs = p.embeddings(&g);
+        assert_eq!(embs.len(), 1);
+        assert_eq!(embs[0][&0], a);
+        assert_eq!(embs[0][&1], b);
+        assert_eq!(embs[0][&2], c);
+    }
+
+    #[test]
+    fn homomorphisms_may_identify_variables() {
+        let mut g = Graph::new();
+        let a = g.add_node(Symbol::name("P"));
+        g.add_edge(a, Symbol::name("e"), a);
+        let p = Pattern::new()
+            .node(0, "P")
+            .node(1, "P")
+            .edge(0, "e", 1);
+        // Both variables map to the self-loop node.
+        let embs = p.embeddings(&g);
+        assert_eq!(embs.len(), 1);
+        assert_eq!(embs[0][&0], embs[0][&1]);
+    }
+
+    #[test]
+    fn empty_pattern_matches_once() {
+        let (g, ..) = family();
+        assert_eq!(Pattern::new().embeddings(&g).len(), 1);
+    }
+
+    #[test]
+    fn edge_labels_are_respected() {
+        let (g, ..) = family();
+        let p = Pattern::new()
+            .node(0, "Person")
+            .node(1, "Person")
+            .edge(0, "sibling", 1);
+        assert!(p.embeddings(&g).is_empty());
+    }
+}

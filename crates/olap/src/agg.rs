@@ -1,0 +1,102 @@
+//! Aggregate functions for summarization (the paper's announced
+//! future-work operation, §5: "operations corresponding to classification
+//! and summarization, two other important functionalities for OLAP").
+
+use crate::error::{OlapError, Result};
+use tabular_core::Symbol;
+
+/// An aggregate function over numeric values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Agg {
+    /// Sum.
+    Sum,
+    /// Count of non-⊥ facts.
+    Count,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Arithmetic mean.
+    Avg,
+}
+
+impl Agg {
+    /// Apply to a list of values; `None` for an empty list (rendered ⊥).
+    pub fn apply(self, values: &[f64]) -> Option<f64> {
+        if values.is_empty() {
+            return if self == Agg::Count { Some(0.0) } else { None };
+        }
+        Some(match self {
+            Agg::Sum => values.iter().sum(),
+            Agg::Count => values.len() as f64,
+            Agg::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            Agg::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Agg::Avg => values.iter().sum::<f64>() / values.len() as f64,
+        })
+    }
+
+    /// Name used in derived attribute labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Agg::Sum => "sum",
+            Agg::Count => "count",
+            Agg::Min => "min",
+            Agg::Max => "max",
+            Agg::Avg => "avg",
+        }
+    }
+}
+
+/// Parse a symbol as a number; ⊥ is `None`, anything non-numeric is an
+/// error.
+pub fn parse_measure(s: Symbol, context: Symbol) -> Result<Option<f64>> {
+    match s {
+        Symbol::Null => Ok(None),
+        _ => s
+            .text()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Some)
+            .ok_or(OlapError::NotNumeric { symbol: s, context }),
+    }
+}
+
+/// Render a number as a value symbol, using integer formatting when exact
+/// (so `420.0` prints as the paper's `420`).
+pub fn render_measure(x: f64) -> Symbol {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        Symbol::value(&format!("{}", x as i64))
+    } else {
+        Symbol::value(&format!("{x}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(Agg::Sum.apply(&v), Some(6.0));
+        assert_eq!(Agg::Count.apply(&v), Some(3.0));
+        assert_eq!(Agg::Min.apply(&v), Some(1.0));
+        assert_eq!(Agg::Max.apply(&v), Some(3.0));
+        assert_eq!(Agg::Avg.apply(&v), Some(2.0));
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        assert_eq!(Agg::Sum.apply(&[]), None);
+        assert_eq!(Agg::Count.apply(&[]), Some(0.0));
+    }
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let ctx = Symbol::name("Sold");
+        assert_eq!(parse_measure(Symbol::value("50"), ctx).unwrap(), Some(50.0));
+        assert_eq!(parse_measure(Symbol::Null, ctx).unwrap(), None);
+        assert!(parse_measure(Symbol::value("nuts"), ctx).is_err());
+        assert_eq!(render_measure(420.0), Symbol::value("420"));
+        assert_eq!(render_measure(2.5), Symbol::value("2.5"));
+    }
+}

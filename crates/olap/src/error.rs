@@ -1,0 +1,69 @@
+//! Errors for the OLAP layer.
+
+use tabular_core::Symbol;
+
+/// OLAP-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OlapError {
+    /// A cell that should hold a number did not parse.
+    NotNumeric {
+        /// The offending symbol.
+        symbol: Symbol,
+        /// Context (measure/attribute name).
+        context: Symbol,
+    },
+    /// A referenced attribute is missing from the table.
+    MissingAttribute(Symbol),
+    /// A referenced dimension is missing from the cube.
+    MissingDimension(Symbol),
+    /// A dimension member is unknown.
+    MissingMember {
+        /// Dimension.
+        dim: Symbol,
+        /// Member.
+        member: Symbol,
+    },
+    /// Two facts landed in the same cube cell without an aggregate to
+    /// combine them.
+    DuplicateCell(Vec<Symbol>),
+    /// The cube has the wrong dimensionality for the requested view.
+    BadDimensionality {
+        /// Expected number of dimensions.
+        expected: usize,
+        /// Actual.
+        got: usize,
+    },
+    /// Error from running a tabular algebra program.
+    Tabular(tabular_algebra::AlgebraError),
+}
+
+impl std::fmt::Display for OlapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OlapError::NotNumeric { symbol, context } => {
+                write!(f, "{symbol} is not numeric (in {context})")
+            }
+            OlapError::MissingAttribute(a) => write!(f, "no attribute {a}"),
+            OlapError::MissingDimension(d) => write!(f, "no dimension {d}"),
+            OlapError::MissingMember { dim, member } => {
+                write!(f, "dimension {dim} has no member {member}")
+            }
+            OlapError::DuplicateCell(key) => write!(f, "duplicate facts for cell {key:?}"),
+            OlapError::BadDimensionality { expected, got } => {
+                write!(f, "expected {expected} dimensions, got {got}")
+            }
+            OlapError::Tabular(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OlapError {}
+
+impl From<tabular_algebra::AlgebraError> for OlapError {
+    fn from(e: tabular_algebra::AlgebraError) -> OlapError {
+        OlapError::Tabular(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, OlapError>;

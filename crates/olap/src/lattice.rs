@@ -1,0 +1,257 @@
+//! The aggregation lattice: `ROLLUP` and `CUBE` over relational fact
+//! tables — the full version of the summary data of Figure 1, where
+//! `TotalPartSales`, `TotalRegionSales`, and `GrandTotal` are exactly
+//! three of the four nodes of `CUBE(Part, Region)`.
+//!
+//! Group-bys that aggregate a dimension away mark it with the *name*
+//! `Total` in the output — the same convention the paper uses when it
+//! absorbs summary rows into `SalesInfo2`–`SalesInfo4` (the `Total` row
+//! and column attributes are names).
+
+use crate::agg::{parse_measure, render_measure, Agg};
+use crate::error::{OlapError, Result};
+use tabular_core::{Symbol, Table};
+
+/// The `ALL` marker used in aggregated-away dimension positions.
+pub fn all_marker() -> Symbol {
+    Symbol::name("Total")
+}
+
+/// Group by exactly the dimensions in `keep` (a sub-list of `dims`),
+/// marking the others with [`all_marker`]; one output row per group.
+fn grouping(
+    t: &Table,
+    dims: &[Symbol],
+    keep: &[bool],
+    measure: Symbol,
+    agg: Agg,
+) -> Result<Vec<Vec<Symbol>>> {
+    let dim_cols: Vec<usize> = dims
+        .iter()
+        .map(|&d| {
+            t.cols_named(d)
+                .first()
+                .copied()
+                .ok_or(OlapError::MissingAttribute(d))
+        })
+        .collect::<Result<_>>()?;
+    let measure_col = *t
+        .cols_named(measure)
+        .first()
+        .ok_or(OlapError::MissingAttribute(measure))?;
+
+    let mut keys: Vec<Vec<Symbol>> = Vec::new();
+    let mut groups: Vec<Vec<f64>> = Vec::new();
+    for i in 1..=t.height() {
+        let key: Vec<Symbol> = dim_cols
+            .iter()
+            .zip(keep)
+            .map(|(&j, &k)| if k { t.get(i, j) } else { all_marker() })
+            .collect();
+        let slot = match keys.iter().position(|x| *x == key) {
+            Some(p) => p,
+            None => {
+                keys.push(key);
+                groups.push(Vec::new());
+                keys.len() - 1
+            }
+        };
+        if let Some(v) = parse_measure(t.get(i, measure_col), measure)? {
+            groups[slot].push(v);
+        }
+    }
+    Ok(keys
+        .into_iter()
+        .zip(groups)
+        .map(|(mut key, vals)| {
+            key.push(agg.apply(&vals).map_or(Symbol::Null, render_measure));
+            key
+        })
+        .collect())
+}
+
+fn assemble(name: &str, dims: &[Symbol], out_attr: &str, rows: Vec<Vec<Symbol>>) -> Table {
+    let attrs: Vec<Symbol> = dims
+        .iter()
+        .copied()
+        .chain(std::iter::once(Symbol::name(out_attr)))
+        .collect();
+    Table::relational_syms(Symbol::name(name), &attrs, &rows)
+}
+
+/// `ROLLUP(dims…)`: the hierarchy of groupings obtained by successively
+/// aggregating away the *last* dimension — `(d₁…dₙ), (d₁…dₙ₋₁), …, ()`.
+/// One table containing all levels, aggregated positions marked `Total`.
+pub fn rollup_table(
+    t: &Table,
+    dims: &[Symbol],
+    measure: Symbol,
+    agg: Agg,
+    out_name: &str,
+    out_attr: &str,
+) -> Result<Table> {
+    let mut rows = Vec::new();
+    for level in (0..=dims.len()).rev() {
+        let keep: Vec<bool> = (0..dims.len()).map(|i| i < level).collect();
+        rows.extend(grouping(t, dims, &keep, measure, agg)?);
+    }
+    Ok(assemble(out_name, dims, out_attr, rows))
+}
+
+/// `CUBE(dims…)`: every subset of the dimensions — 2ⁿ groupings in one
+/// table, aggregated positions marked `Total`.
+pub fn cube_table(
+    t: &Table,
+    dims: &[Symbol],
+    measure: Symbol,
+    agg: Agg,
+    out_name: &str,
+    out_attr: &str,
+) -> Result<Table> {
+    assert!(dims.len() < usize::BITS as usize, "dimension count");
+    let mut rows = Vec::new();
+    // Enumerate subsets from full grouping down to the grand total.
+    let n = dims.len();
+    let mut subsets: Vec<u64> = (0..(1u64 << n)).collect();
+    subsets.sort_by_key(|s| std::cmp::Reverse(s.count_ones()));
+    for subset in subsets {
+        let keep: Vec<bool> = (0..n).map(|i| subset & (1 << i) != 0).collect();
+        rows.extend(grouping(t, dims, &keep, measure, agg)?);
+    }
+    Ok(assemble(out_name, dims, out_attr, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular_core::fixtures;
+
+    fn nm(s: &str) -> Symbol {
+        Symbol::name(s)
+    }
+
+    fn dims() -> [Symbol; 2] {
+        [nm("Part"), nm("Region")]
+    }
+
+    fn lookup(t: &Table, part: Symbol, region: Symbol) -> Option<Symbol> {
+        (1..=t.height())
+            .find(|&i| t.get(i, 1) == part && t.get(i, 2) == region)
+            .map(|i| t.get(i, 3))
+    }
+
+    #[test]
+    fn cube_contains_the_figure1_summaries() {
+        let cube = cube_table(
+            &fixtures::sales_relation(),
+            &dims(),
+            nm("Sold"),
+            Agg::Sum,
+            "Cube",
+            "Total",
+        )
+        .unwrap();
+        // Grand total (both dims aggregated): 420.
+        assert_eq!(
+            lookup(&cube, all_marker(), all_marker()),
+            Some(Symbol::value("420"))
+        );
+        // TotalPartSales (region aggregated): screws → 160.
+        assert_eq!(
+            lookup(&cube, Symbol::value("screws"), all_marker()),
+            Some(Symbol::value("160"))
+        );
+        // TotalRegionSales (part aggregated): east → 120.
+        assert_eq!(
+            lookup(&cube, all_marker(), Symbol::value("east")),
+            Some(Symbol::value("120"))
+        );
+        // Base cell: nuts/west → 60.
+        assert_eq!(
+            lookup(&cube, Symbol::value("nuts"), Symbol::value("west")),
+            Some(Symbol::value("60"))
+        );
+    }
+
+    #[test]
+    fn cube_row_count_is_the_lattice_size() {
+        let cube = cube_table(
+            &fixtures::sales_relation(),
+            &dims(),
+            nm("Sold"),
+            Agg::Sum,
+            "Cube",
+            "Total",
+        )
+        .unwrap();
+        // 8 base pairs + 3 parts + 4 regions + 1 grand total.
+        assert_eq!(cube.height(), 8 + 3 + 4 + 1);
+    }
+
+    #[test]
+    fn rollup_is_the_prefix_hierarchy() {
+        let roll = rollup_table(
+            &fixtures::sales_relation(),
+            &dims(),
+            nm("Sold"),
+            Agg::Sum,
+            "Rollup",
+            "Total",
+        )
+        .unwrap();
+        // 8 base + 3 per-part + 1 grand total; NO per-region level
+        // (region is aggregated first, being last in the dim list).
+        assert_eq!(roll.height(), 8 + 3 + 1);
+        assert_eq!(
+            lookup(&roll, Symbol::value("bolts"), all_marker()),
+            Some(Symbol::value("110"))
+        );
+        assert_eq!(lookup(&roll, all_marker(), Symbol::value("east")), None);
+    }
+
+    #[test]
+    fn cube_agrees_with_the_dense_cube_model() {
+        use crate::cube::Cube;
+        let rel = fixtures::make_sales_relation(10, 6);
+        let lattice = cube_table(&rel, &dims(), nm("Sold"), Agg::Sum, "C", "Total").unwrap();
+        let dense = Cube::from_table(&rel, &dims(), nm("Sold"), Agg::Sum).unwrap();
+        assert_eq!(
+            lookup(&lattice, all_marker(), all_marker()),
+            dense.grand_total(Agg::Sum).map(crate::agg::render_measure)
+        );
+    }
+
+    #[test]
+    fn single_dimension_cube() {
+        let c = cube_table(
+            &fixtures::sales_relation(),
+            &[nm("Part")],
+            nm("Sold"),
+            Agg::Count,
+            "C",
+            "N",
+        )
+        .unwrap();
+        // 3 parts + total.
+        assert_eq!(c.height(), 4);
+        let total = (1..=c.height())
+            .find(|&i| c.get(i, 1) == all_marker())
+            .unwrap();
+        assert_eq!(c.get(total, 2), Symbol::value("8"));
+    }
+
+    #[test]
+    fn missing_dimension_errors() {
+        assert!(matches!(
+            cube_table(
+                &fixtures::sales_relation(),
+                &[nm("Nope")],
+                nm("Sold"),
+                Agg::Sum,
+                "C",
+                "T"
+            ),
+            Err(OlapError::MissingAttribute(_))
+        ));
+    }
+}

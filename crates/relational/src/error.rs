@@ -1,0 +1,91 @@
+//! Errors for the relational substrate.
+
+use tabular_core::Symbol;
+
+/// Errors from relational evaluation, compilation, and model violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A relation header repeated an attribute.
+    DuplicateAttribute(Symbol),
+    /// Tuple arity did not match the header.
+    Arity {
+        /// Relation concerned.
+        relation: Symbol,
+        /// Header arity.
+        expected: usize,
+        /// Tuple arity.
+        got: usize,
+    },
+    /// An attribute was not part of a relation's header.
+    UnknownAttribute {
+        /// Relation concerned.
+        relation: Symbol,
+        /// The missing attribute.
+        attr: Symbol,
+    },
+    /// A referenced relation does not exist.
+    MissingRelation(Symbol),
+    /// Several tables carried the name of the requested relation.
+    AmbiguousRelation(Symbol),
+    /// A table could not be read back as a relation.
+    NotRelational(Symbol),
+    /// Product operands share attribute names (rename first).
+    ProductAttributeClash(Symbol),
+    /// Union/difference operands have different headers.
+    NotUnionCompatible,
+    /// A `while` loop exceeded the iteration bound.
+    WhileLimit(usize),
+    /// A compiled tabular program failed.
+    Tabular(tabular_algebra::AlgebraError),
+}
+
+impl std::fmt::Display for RelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelError::DuplicateAttribute(r) => write!(f, "relation {r} repeats an attribute"),
+            RelError::Arity {
+                relation,
+                expected,
+                got,
+            } => write!(f, "relation {relation}: arity {got}, expected {expected}"),
+            RelError::UnknownAttribute { relation, attr } => {
+                write!(f, "relation {relation} has no attribute {attr}")
+            }
+            RelError::MissingRelation(r) => write!(f, "relation {r} not found"),
+            RelError::AmbiguousRelation(r) => write!(f, "several tables named {r}"),
+            RelError::NotRelational(r) => write!(f, "table {r} is not relational"),
+            RelError::ProductAttributeClash(a) => {
+                write!(f, "product operands share attribute {a}; rename first")
+            }
+            RelError::NotUnionCompatible => write!(f, "operands are not union-compatible"),
+            RelError::WhileLimit(n) => write!(f, "while loop exceeded {n} iterations"),
+            RelError::Tabular(e) => write!(f, "tabular program failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+impl From<tabular_algebra::AlgebraError> for RelError {
+    fn from(e: tabular_algebra::AlgebraError) -> RelError {
+        RelError::Tabular(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, RelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelError::UnknownAttribute {
+            relation: Symbol::name("R"),
+            attr: Symbol::name("Z"),
+        };
+        assert!(e.to_string().contains('Z'));
+        assert!(RelError::WhileLimit(7).to_string().contains('7'));
+    }
+}

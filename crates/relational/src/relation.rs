@@ -1,0 +1,329 @@
+//! The classical relational model, built as the substrate for Theorem 4.1:
+//! the language `FO + while + new` over relations is simulated in the
+//! tabular algebra, so we need relations, a relational algebra, and an
+//! interpreter of our own to compare against.
+//!
+//! Relations here are *named-attribute, set-semantics* relations: a header
+//! of pairwise-distinct attribute names and a set of tuples of values.
+
+use crate::error::{RelError, Result};
+use std::collections::BTreeSet;
+use tabular_core::{Symbol, SymbolSet, Table};
+
+/// A relation: a named header of distinct attributes plus a set of tuples.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Relation {
+    name: Symbol,
+    attrs: Vec<Symbol>,
+    tuples: BTreeSet<Vec<Symbol>>,
+}
+
+impl Relation {
+    /// An empty relation over the given attributes.
+    pub fn empty(name: Symbol, attrs: Vec<Symbol>) -> Result<Relation> {
+        let distinct: SymbolSet = attrs.iter().copied().collect();
+        if distinct.len() != attrs.len() {
+            return Err(RelError::DuplicateAttribute(name));
+        }
+        Ok(Relation {
+            name,
+            attrs,
+            tuples: BTreeSet::new(),
+        })
+    }
+
+    /// Build from string data: attribute names, and tuples in the cell
+    /// syntax of [`tabular_core::symbol::parse_cell`] (bare cells are
+    /// values; `n:`/`v:` tags override; `_` is ⊥).
+    pub fn new(name: &str, attrs: &[&str], rows: &[&[&str]]) -> Relation {
+        let mut r = Relation::empty(
+            Symbol::name(name),
+            attrs.iter().map(|a| Symbol::name(a)).collect(),
+        )
+        .expect("distinct attributes");
+        for row in rows {
+            r.insert(
+                row.iter()
+                    .map(|v| tabular_core::symbol::parse_cell(v, Symbol::value))
+                    .collect(),
+            )
+            .expect("arity");
+        }
+        r
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> Symbol {
+        self.name
+    }
+
+    /// Rename the relation.
+    pub fn with_name(mut self, name: Symbol) -> Relation {
+        self.name = name;
+        self
+    }
+
+    /// The attribute list.
+    pub fn attrs(&self) -> &[Symbol] {
+        &self.attrs
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate over the tuples in sorted order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Vec<Symbol>> {
+        self.tuples.iter()
+    }
+
+    /// Insert a tuple; errors on arity mismatch.
+    pub fn insert(&mut self, tuple: Vec<Symbol>) -> Result<bool> {
+        if tuple.len() != self.attrs.len() {
+            return Err(RelError::Arity {
+                relation: self.name,
+                expected: self.attrs.len(),
+                got: tuple.len(),
+            });
+        }
+        Ok(self.tuples.insert(tuple))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Symbol]) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Position of an attribute.
+    pub fn attr_index(&self, a: Symbol) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|&x| x == a)
+            .ok_or(RelError::UnknownAttribute {
+                relation: self.name,
+                attr: a,
+            })
+    }
+
+    /// A column-permutation normal form: attributes sorted by their
+    /// canonical symbol order, tuples reordered accordingly. Two relations
+    /// represent the same *named* relation iff their canonical forms are
+    /// equal.
+    pub fn canonical(&self) -> Relation {
+        let mut order: Vec<usize> = (0..self.attrs.len()).collect();
+        order.sort_by(|&a, &b| self.attrs[a].canonical_cmp(self.attrs[b]));
+        let attrs: Vec<Symbol> = order.iter().map(|&i| self.attrs[i]).collect();
+        let tuples: BTreeSet<Vec<Symbol>> = self
+            .tuples
+            .iter()
+            .map(|t| order.iter().map(|&i| t[i]).collect())
+            .collect();
+        Relation {
+            name: self.name,
+            attrs,
+            tuples,
+        }
+    }
+
+    /// Equality as named relations (up to column permutation).
+    pub fn equiv(&self, other: &Relation) -> bool {
+        self.name == other.name && self.canonical().same_content(&other.canonical())
+    }
+
+    fn same_content(&self, other: &Relation) -> bool {
+        self.attrs == other.attrs && self.tuples == other.tuples
+    }
+
+    // ------------------------------------------------------------------
+    // Embedding into the tabular model (paper §1/§4.1: a relation is the
+    // table with ⊥ row attributes and its attributes as column attributes)
+    // ------------------------------------------------------------------
+
+    /// The natural tabular representation of this relation.
+    pub fn to_table(&self) -> Table {
+        let rows: Vec<Vec<Symbol>> = self.tuples.iter().cloned().collect();
+        Table::relational_syms(self.name, &self.attrs, &rows)
+    }
+
+    /// Read a relation back from a relational-shaped table (see
+    /// [`Table::is_relational`]).
+    pub fn from_table(t: &Table) -> Result<Relation> {
+        if !t.is_relational() {
+            return Err(RelError::NotRelational(t.name()));
+        }
+        let mut r = Relation::empty(t.name(), t.col_attrs().to_vec())?;
+        for i in 1..=t.height() {
+            r.insert(t.data_row(i).to_vec())?;
+        }
+        Ok(r)
+    }
+}
+
+/// A relational database: a set of relations with distinct names.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RelDatabase {
+    relations: Vec<Relation>,
+}
+
+impl RelDatabase {
+    /// The empty database.
+    pub fn new() -> RelDatabase {
+        RelDatabase::default()
+    }
+
+    /// Build from relations; later relations replace earlier same-named
+    /// ones.
+    pub fn from_relations<I: IntoIterator<Item = Relation>>(rels: I) -> RelDatabase {
+        let mut db = RelDatabase::new();
+        for r in rels {
+            db.set(r);
+        }
+        db
+    }
+
+    /// Insert or replace a relation.
+    pub fn set(&mut self, r: Relation) {
+        if let Some(slot) = self.relations.iter_mut().find(|x| x.name() == r.name()) {
+            *slot = r;
+        } else {
+            self.relations.push(r);
+        }
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: Symbol) -> Option<&Relation> {
+        self.relations.iter().find(|r| r.name() == name)
+    }
+
+    /// Look up by string name.
+    pub fn get_str(&self, name: &str) -> Option<&Relation> {
+        self.get(Symbol::name(name))
+    }
+
+    /// All relations.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Equality as a set of named relations.
+    pub fn equiv(&self, other: &RelDatabase) -> bool {
+        self.relations.len() == other.relations.len()
+            && self.relations.iter().all(|r| {
+                other
+                    .get(r.name())
+                    .is_some_and(|o| r.equiv(o))
+            })
+    }
+
+    /// Embed the whole database into the tabular model.
+    pub fn to_tabular(&self) -> tabular_core::Database {
+        tabular_core::Database::from_tables(self.relations.iter().map(Relation::to_table))
+    }
+
+    /// Extract the relations of the given names from a tabular database
+    /// (used to read back the results of a compiled TA program).
+    pub fn from_tabular(db: &tabular_core::Database, names: &[Symbol]) -> Result<RelDatabase> {
+        let mut out = RelDatabase::new();
+        for &name in names {
+            let tables = db.tables_named(name);
+            match tables.as_slice() {
+                [t] => out.set(Relation::from_table(t)?),
+                [] => return Err(RelError::MissingRelation(name)),
+                _ => return Err(RelError::AmbiguousRelation(name)),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_semantics_dedupe() {
+        let mut r = Relation::new("R", &["A"], &[&["1"]]);
+        assert!(!r.insert(vec![Symbol::value("1")]).unwrap());
+        assert!(r.insert(vec![Symbol::value("2")]).unwrap());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let mut r = Relation::new("R", &["A", "B"], &[]);
+        assert!(matches!(
+            r.insert(vec![Symbol::value("1")]),
+            Err(RelError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        assert!(Relation::empty(
+            Symbol::name("R"),
+            vec![Symbol::name("A"), Symbol::name("A")]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn equiv_up_to_column_permutation() {
+        let r1 = Relation::new("R", &["A", "B"], &[&["1", "2"]]);
+        let r2 = Relation::new("R", &["B", "A"], &[&["2", "1"]]);
+        assert!(r1.equiv(&r2));
+        let r3 = Relation::new("R", &["B", "A"], &[&["1", "2"]]);
+        assert!(!r1.equiv(&r3));
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let r = Relation::new("Sales", &["Part", "Sold"], &[&["nuts", "50"], &["bolts", "70"]]);
+        let t = r.to_table();
+        assert!(t.is_relational());
+        let back = Relation::from_table(&t).unwrap();
+        assert!(r.equiv(&back));
+    }
+
+    #[test]
+    fn from_table_rejects_non_relational() {
+        let db = tabular_core::fixtures::sales_info2();
+        let t = db.table_str("Sales").unwrap();
+        assert!(matches!(
+            Relation::from_table(t),
+            Err(RelError::NotRelational(_))
+        ));
+    }
+
+    #[test]
+    fn database_set_replaces() {
+        let mut db = RelDatabase::new();
+        db.set(Relation::new("R", &["A"], &[&["1"]]));
+        db.set(Relation::new("R", &["A"], &[&["2"]]));
+        assert_eq!(db.relations().len(), 1);
+        assert_eq!(db.get_str("R").unwrap().len(), 1);
+        assert!(db.get_str("R").unwrap().contains(&[Symbol::value("2")]));
+    }
+
+    #[test]
+    fn tabular_round_trip_for_database() {
+        let db = RelDatabase::from_relations([
+            Relation::new("R", &["A"], &[&["1"]]),
+            Relation::new("S", &["B", "C"], &[&["2", "3"]]),
+        ]);
+        let tab = db.to_tabular();
+        let names: Vec<Symbol> = db.relations().iter().map(|r| r.name()).collect();
+        let back = RelDatabase::from_tabular(&tab, &names).unwrap();
+        assert!(db.equiv(&back));
+    }
+}

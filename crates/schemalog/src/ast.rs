@@ -1,0 +1,263 @@
+//! Abstract syntax of SchemaLog_d (paper §4.2): the single-database
+//! fragment of SchemaLog (Lakshmanan, Sadri & Subramanian), whose atomic
+//! formulas are
+//!
+//! ```text
+//!     rel[ tid : attr → value ]
+//! ```
+//!
+//! with `rel`, `tid`, `attr`, `value` constants *or variables* — relation
+//! and attribute names are first-class citizens, which is what gives
+//! SchemaLog its restructuring power (a variable may range over relation
+//! names; a head may *create* relations named by data).
+
+use tabular_core::Symbol;
+
+/// A term: a constant symbol or a variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A constant (name, value, or ⊥).
+    Const(Symbol),
+    /// A variable, interned by name.
+    Var(tabular_core::Istr),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(tabular_core::interner::intern(name))
+    }
+
+    /// A constant name term.
+    pub fn name(s: &str) -> Term {
+        Term::Const(Symbol::name(s))
+    }
+
+    /// A constant value term.
+    pub fn value(s: &str) -> Term {
+        Term::Const(Symbol::value(s))
+    }
+
+    /// True for variables.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+/// A (flattened) SchemaLog atom `rel[tid : attr → value]`. Multi-pair
+/// surface atoms `rel[T : a → X, b → Y]` are flattened to one atom per
+/// pair during parsing (they share the tid term).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// Relation term.
+    pub rel: Term,
+    /// Tuple-id term.
+    pub tid: Term,
+    /// Attribute term.
+    pub attr: Term,
+    /// Value term.
+    pub value: Term,
+}
+
+impl Atom {
+    /// All four terms, in order.
+    pub fn terms(&self) -> [Term; 4] {
+        [self.rel, self.tid, self.attr, self.value]
+    }
+
+    /// The variables of the atom.
+    pub fn vars(&self) -> impl Iterator<Item = tabular_core::Istr> + '_ {
+        self.terms().into_iter().filter_map(|t| match t {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        })
+    }
+}
+
+/// Comparison operators of the built-in predicates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate on two symbols. Values that both parse as integers compare
+    /// numerically; otherwise the canonical symbol order applies.
+    pub fn eval(self, a: Symbol, b: Symbol) -> bool {
+        use std::cmp::Ordering;
+        let ord = match (num(a), num(b)) {
+            (Some(x), Some(y)) => x.cmp(&y),
+            _ => a.canonical_cmp(b),
+        };
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// Surface spelling.
+    pub fn text(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+fn num(s: Symbol) -> Option<i128> {
+    s.text().and_then(|t| t.parse().ok())
+}
+
+/// A body literal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Literal {
+    /// A positive atom.
+    Pos(Atom),
+    /// A negated atom (stratified negation; the relation term must be a
+    /// constant so strata are well-defined).
+    Neg(Atom),
+    /// A built-in comparison; both terms must be bound by positive
+    /// literals when it is evaluated (safety).
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left term.
+        lhs: Term,
+        /// Right term.
+        rhs: Term,
+    },
+}
+
+/// A rule `head :- body`. The head is a conjunction of atoms sharing
+/// variables with the body (a surface head with several pairs flattens to
+/// several atoms).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// Head atoms (derived quads).
+    pub head: Vec<Atom>,
+    /// Body literals.
+    pub body: Vec<Literal>,
+}
+
+/// A SchemaLog_d program.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SlProgram {
+    /// The rules.
+    pub rules: Vec<Rule>,
+}
+
+impl SlProgram {
+    /// Relation-name constants appearing in rule heads (the program's
+    /// derived predicates, where statically known).
+    pub fn derived_rels(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        for r in &self.rules {
+            for h in &r.head {
+                if let Term::Const(s) = h.rel {
+                    if !out.contains(&s) {
+                        out.push(s);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if some head names its relation with a variable (data-driven
+    /// relation creation — SchemaLog's restructuring signature move).
+    pub fn has_dynamic_heads(&self) -> bool {
+        self.rules
+            .iter()
+            .flat_map(|r| &r.head)
+            .any(|a| a.rel.is_var())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terms_and_vars() {
+        let a = Atom {
+            rel: Term::name("sales"),
+            tid: Term::var("T"),
+            attr: Term::name("part"),
+            value: Term::var("P"),
+        };
+        let vars: Vec<_> = a.vars().collect();
+        assert_eq!(vars.len(), 2);
+        assert!(a.tid.is_var());
+        assert!(!a.rel.is_var());
+    }
+
+    #[test]
+    fn cmp_is_numeric_when_possible() {
+        let a = Symbol::value("9");
+        let b = Symbol::value("10");
+        assert!(CmpOp::Lt.eval(a, b)); // 9 < 10 numerically (not lexically)
+        assert!(CmpOp::Le.eval(a, a));
+        assert!(CmpOp::Ne.eval(a, b));
+        assert!(CmpOp::Ge.eval(b, a));
+    }
+
+    #[test]
+    fn cmp_falls_back_to_canonical_order() {
+        let a = Symbol::value("apple");
+        let b = Symbol::value("banana");
+        assert!(CmpOp::Lt.eval(a, b));
+        assert!(CmpOp::Gt.eval(b, a));
+        // Mixed numeric/non-numeric uses canonical order too.
+        assert!(CmpOp::Ne.eval(Symbol::value("1"), Symbol::value("one")));
+    }
+
+    #[test]
+    fn derived_rels_and_dynamic_heads() {
+        let static_head = Rule {
+            head: vec![Atom {
+                rel: Term::name("ans"),
+                tid: Term::var("T"),
+                attr: Term::name("a"),
+                value: Term::var("X"),
+            }],
+            body: vec![],
+        };
+        let dynamic_head = Rule {
+            head: vec![Atom {
+                rel: Term::var("P"),
+                tid: Term::var("T"),
+                attr: Term::name("a"),
+                value: Term::var("X"),
+            }],
+            body: vec![],
+        };
+        let p = SlProgram {
+            rules: vec![static_head.clone()],
+        };
+        assert_eq!(p.derived_rels(), vec![Symbol::name("ans")]);
+        assert!(!p.has_dynamic_heads());
+        let q = SlProgram {
+            rules: vec![static_head, dynamic_head],
+        };
+        assert!(q.has_dynamic_heads());
+    }
+}

@@ -1,0 +1,85 @@
+//! Errors for SchemaLog parsing, evaluation, and translation.
+
+use tabular_core::Istr;
+
+/// SchemaLog errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlError {
+    /// Parse error.
+    Parse {
+        /// Byte offset.
+        at: usize,
+        /// Message.
+        msg: String,
+    },
+    /// A rule is unsafe: a head / negated / built-in variable is not bound
+    /// by a positive body literal.
+    Unsafe {
+        /// The unbound variable.
+        var: Istr,
+        /// Rule index in the program.
+        rule: usize,
+    },
+    /// A negated atom uses a variable relation term, so strata cannot be
+    /// assigned.
+    DynamicNegation {
+        /// Rule index.
+        rule: usize,
+    },
+    /// The program's negation is not stratified (a predicate depends
+    /// negatively on itself).
+    NotStratified,
+    /// The iteration bound was exceeded.
+    FixpointLimit(usize),
+    /// The translation to tabular algebra does not cover this feature.
+    Untranslatable(String),
+    /// Error from the relational layer.
+    Rel(tabular_relational::RelError),
+    /// Error from the tabular algebra layer.
+    Tabular(tabular_algebra::AlgebraError),
+}
+
+impl std::fmt::Display for SlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+            SlError::Unsafe { var, rule } => {
+                write!(f, "rule {rule} is unsafe: variable {var} is unbound")
+            }
+            SlError::DynamicNegation { rule } => {
+                write!(f, "rule {rule}: negated atom with a variable relation term")
+            }
+            SlError::NotStratified => write!(f, "program is not stratified"),
+            SlError::FixpointLimit(n) => write!(f, "fixpoint exceeded {n} iterations"),
+            SlError::Untranslatable(msg) => write!(f, "not translatable to TA: {msg}"),
+            SlError::Rel(e) => write!(f, "{e}"),
+            SlError::Tabular(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SlError {}
+
+impl From<tabular_relational::RelError> for SlError {
+    fn from(e: tabular_relational::RelError) -> SlError {
+        SlError::Rel(e)
+    }
+}
+
+impl From<tabular_algebra::AlgebraError> for SlError {
+    fn from(e: tabular_algebra::AlgebraError) -> SlError {
+        SlError::Tabular(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, SlError>;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn display() {
+        let e = super::SlError::FixpointLimit(3);
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,399 @@
+//! Parser for the SchemaLog_d surface syntax:
+//!
+//! ```text
+//! -- derived relation of parts that sold at least 60 units anywhere
+//! big[T : part -> P] :- sales[T : part -> P], sales[T : sold -> S], S >= 60.
+//!
+//! -- one relation per part (dynamic head): the SchemaLog SPLIT
+//! P[T : region -> R] :- sales[T : part -> P], sales[T : region -> R].
+//!
+//! -- stratified negation
+//! rest[T : part -> P] :- sales[T : part -> P], not big[T : part -> P].
+//! ```
+//!
+//! Conventions: identifiers starting with an uppercase letter are
+//! variables; bare lowercase identifiers are *names* in relation/attribute
+//! positions and *values* in tid/value positions; `v:x` / `n:x` force a
+//! sort; `_` is ⊥; strings may be double-quoted. Multi-pair atoms flatten
+//! to one [`Atom`] per pair (sharing the tid term). Comments run from
+//! `--` to end of line.
+
+use crate::ast::{Atom, CmpOp, Literal, Rule, SlProgram, Term};
+use crate::error::{Result, SlError};
+use tabular_core::Symbol;
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Word(String),
+    Value(String),
+    Name(String),
+    Null,
+    LBracket,
+    RBracket,
+    Colon,
+    MapsTo,
+    Comma,
+    Period,
+    ColonDash,
+    Not,
+    Cmp(CmpOp),
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '\''
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>> {
+    let mut toks = Vec::new();
+    let mut pos = 0usize;
+    let err = |at: usize, msg: &str| SlError::Parse {
+        at,
+        msg: msg.to_owned(),
+    };
+    while pos < src.len() {
+        let rest = &src[pos..];
+        let c = rest.chars().next().expect("char boundary");
+        match c {
+            c if c.is_whitespace() => pos += c.len_utf8(),
+            '-' if rest.starts_with("--") => {
+                pos += rest.find('\n').unwrap_or(rest.len());
+            }
+            '-' if rest.starts_with("->") => {
+                toks.push((pos, Tok::MapsTo));
+                pos += 2;
+            }
+            ':' if rest.starts_with(":-") => {
+                toks.push((pos, Tok::ColonDash));
+                pos += 2;
+            }
+            ':' => {
+                toks.push((pos, Tok::Colon));
+                pos += 1;
+            }
+            '[' => {
+                toks.push((pos, Tok::LBracket));
+                pos += 1;
+            }
+            ']' => {
+                toks.push((pos, Tok::RBracket));
+                pos += 1;
+            }
+            ',' => {
+                toks.push((pos, Tok::Comma));
+                pos += 1;
+            }
+            '.' => {
+                toks.push((pos, Tok::Period));
+                pos += 1;
+            }
+            '!' if rest.starts_with("!=") => {
+                toks.push((pos, Tok::Cmp(CmpOp::Ne)));
+                pos += 2;
+            }
+            '=' => {
+                toks.push((pos, Tok::Cmp(CmpOp::Eq)));
+                pos += 1;
+            }
+            '<' if rest.starts_with("<=") => {
+                toks.push((pos, Tok::Cmp(CmpOp::Le)));
+                pos += 2;
+            }
+            '<' => {
+                toks.push((pos, Tok::Cmp(CmpOp::Lt)));
+                pos += 1;
+            }
+            '>' if rest.starts_with(">=") => {
+                toks.push((pos, Tok::Cmp(CmpOp::Ge)));
+                pos += 2;
+            }
+            '>' => {
+                toks.push((pos, Tok::Cmp(CmpOp::Gt)));
+                pos += 1;
+            }
+            '"' => {
+                let mut out = String::new();
+                let mut closed = None;
+                for (i, ch) in rest[1..].char_indices() {
+                    if ch == '"' {
+                        closed = Some(i);
+                        break;
+                    }
+                    out.push(ch);
+                }
+                match closed {
+                    Some(i) => {
+                        toks.push((pos, Tok::Word(out)));
+                        pos += i + 2;
+                    }
+                    None => return Err(err(pos, "unterminated string")),
+                }
+            }
+            c if is_word_char(c) => {
+                let word: String = rest.chars().take_while(|&c| is_word_char(c)).collect();
+                pos += word.len();
+                if (word == "v" || word == "n") && src[pos..].starts_with(':')
+                    && !src[pos..].starts_with(":-")
+                {
+                    pos += 1;
+                    let rest2 = &src[pos..];
+                    let text: String = rest2.chars().take_while(|&c| is_word_char(c)).collect();
+                    if text.is_empty() {
+                        return Err(err(pos, "expected text after sort tag"));
+                    }
+                    pos += text.len();
+                    toks.push((
+                        pos,
+                        if word == "v" {
+                            Tok::Value(text)
+                        } else {
+                            Tok::Name(text)
+                        },
+                    ));
+                } else if word == "_" {
+                    toks.push((pos, Tok::Null));
+                } else if word == "not" {
+                    toks.push((pos, Tok::Not));
+                } else {
+                    toks.push((pos, Tok::Word(word)));
+                }
+            }
+            _ => return Err(err(pos, &format!("unexpected character {c:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+/// Which default sort a bare lowercase word takes in a given position.
+#[derive(Clone, Copy)]
+enum Slot {
+    /// Relation / attribute positions: names.
+    Name,
+    /// Tid / value positions: values.
+    Value,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |(p, _)| *p)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SlError {
+        SlError::Parse {
+            at: self.at(),
+            msg: msg.into(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<()> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn term(&mut self, slot: Slot) -> Result<Term> {
+        match self.next() {
+            Some(Tok::Word(w)) => {
+                if w.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    Ok(Term::var(&w))
+                } else {
+                    Ok(Term::Const(match slot {
+                        Slot::Name => Symbol::name(&w),
+                        Slot::Value => Symbol::value(&w),
+                    }))
+                }
+            }
+            Some(Tok::Value(w)) => Ok(Term::Const(Symbol::value(&w))),
+            Some(Tok::Name(w)) => Ok(Term::Const(Symbol::name(&w))),
+            Some(Tok::Null) => Ok(Term::Const(Symbol::Null)),
+            other => Err(self.err(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    /// Parse a surface atom, flattening multi-pair bodies.
+    fn atom(&mut self) -> Result<Vec<Atom>> {
+        let rel = self.term(Slot::Name)?;
+        self.expect(&Tok::LBracket, "`[`")?;
+        let tid = self.term(Slot::Value)?;
+        self.expect(&Tok::Colon, "`:`")?;
+        let mut atoms = Vec::new();
+        loop {
+            let attr = self.term(Slot::Name)?;
+            self.expect(&Tok::MapsTo, "`->`")?;
+            let value = self.term(Slot::Value)?;
+            atoms.push(Atom {
+                rel,
+                tid,
+                attr,
+                value,
+            });
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RBracket) => break,
+                other => return Err(self.err(format!("expected `,` or `]`, found {other:?}"))),
+            }
+        }
+        Ok(atoms)
+    }
+
+    fn literal(&mut self) -> Result<Vec<Literal>> {
+        if self.peek() == Some(&Tok::Not) {
+            self.next();
+            return Ok(self.atom()?.into_iter().map(Literal::Neg).collect());
+        }
+        // A comparison starts with a term not followed by `[`.
+        let save = self.pos;
+        let lhs = self.term(Slot::Value)?;
+        if let Some(Tok::Cmp(op)) = self.peek().cloned() {
+            self.next();
+            let rhs = self.term(Slot::Value)?;
+            return Ok(vec![Literal::Cmp { op, lhs, rhs }]);
+        }
+        self.pos = save;
+        Ok(self.atom()?.into_iter().map(Literal::Pos).collect())
+    }
+
+    fn rule(&mut self) -> Result<Rule> {
+        let head = self.atom()?;
+        match self.next() {
+            Some(Tok::Period) => Ok(Rule { head, body: vec![] }),
+            Some(Tok::ColonDash) => {
+                let mut body = Vec::new();
+                loop {
+                    body.extend(self.literal()?);
+                    match self.next() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::Period) => break,
+                        other => {
+                            return Err(
+                                self.err(format!("expected `,` or `.`, found {other:?}"))
+                            )
+                        }
+                    }
+                }
+                Ok(Rule { head, body })
+            }
+            other => Err(self.err(format!("expected `.` or `:-`, found {other:?}"))),
+        }
+    }
+}
+
+/// Parse a SchemaLog_d program.
+pub fn parse(src: &str) -> Result<SlProgram> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut rules = Vec::new();
+    while p.peek().is_some() {
+        rules.push(p.rule()?);
+    }
+    Ok(SlProgram { rules })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_selection_rule() {
+        let p = parse("big[T : part -> P] :- sales[T : part -> P], S >= 60, sales[T : sold -> S].")
+            .unwrap();
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(p.rules[0].head.len(), 1);
+        assert_eq!(p.rules[0].body.len(), 3);
+        assert!(matches!(p.rules[0].body[1], Literal::Cmp { op: CmpOp::Ge, .. }));
+    }
+
+    #[test]
+    fn multi_pair_atoms_flatten() {
+        let p = parse("out[T : a -> X, b -> Y] :- r[T : a -> X, b -> Y].").unwrap();
+        assert_eq!(p.rules[0].head.len(), 2);
+        assert_eq!(p.rules[0].body.len(), 2);
+        // All four atoms share the tid variable T.
+        let tid = p.rules[0].head[0].tid;
+        assert!(p.rules[0].head.iter().all(|a| a.tid == tid));
+    }
+
+    #[test]
+    fn positional_sort_defaults() {
+        let p = parse("ans[t1 : attr -> val] .").unwrap();
+        let a = &p.rules[0].head[0];
+        assert_eq!(a.rel, Term::name("ans"));
+        assert_eq!(a.tid, Term::value("t1"));
+        assert_eq!(a.attr, Term::name("attr"));
+        assert_eq!(a.value, Term::value("val"));
+    }
+
+    #[test]
+    fn sort_tags_and_null_override() {
+        let p = parse("ans[T : region -> n:Total] :- r[T : x -> _], v:east = v:east.").unwrap();
+        let a = &p.rules[0].head[0];
+        assert_eq!(a.value, Term::name("Total"));
+        let Literal::Pos(b) = &p.rules[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(b.value, Term::Const(Symbol::Null));
+    }
+
+    #[test]
+    fn variables_start_uppercase() {
+        let p = parse("ans[T : a -> Xyz] :- r[T : a -> Xyz].").unwrap();
+        assert!(p.rules[0].head[0].value.is_var());
+        assert!(p.rules[0].head[0].tid.is_var());
+    }
+
+    #[test]
+    fn negation_and_facts() {
+        let p = parse(
+            "fact[t : a -> 1].\nans[T : a -> X] :- r[T : a -> X], not fact[T : a -> X].",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.rules[0].body.is_empty());
+        assert!(matches!(p.rules[1].body[1], Literal::Neg(_)));
+    }
+
+    #[test]
+    fn dynamic_heads_parse() {
+        let p = parse("P[T : region -> R] :- sales[T : part -> P], sales[T : region -> R].")
+            .unwrap();
+        assert!(p.has_dynamic_heads());
+    }
+
+    #[test]
+    fn comments_and_quotes() {
+        let p = parse("-- a comment\nans[T : a -> \"two words\"] :- r[T : a -> X].").unwrap();
+        assert_eq!(
+            p.rules[0].head[0].value,
+            Term::Const(Symbol::value("two words"))
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("ans[T : a -> X]").is_err()); // missing period
+        assert!(parse("ans[T a -> X].").is_err()); // missing colon
+        assert!(parse("ans[T : a -> X] :- .").is_err()); // empty body
+        assert!(parse("ans[T : a -> \"oops].").is_err()); // unterminated
+        assert!(parse("@").is_err());
+    }
+}

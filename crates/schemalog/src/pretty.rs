@@ -1,0 +1,184 @@
+//! Pretty-printer for SchemaLog_d programs — the inverse of
+//! [`crate::parser::parse`]: `parse(render(p))` reproduces `p` exactly
+//! (flattened form).
+
+use crate::ast::{Atom, Literal, Rule, SlProgram, Term};
+use std::fmt::Write;
+use tabular_core::Symbol;
+
+fn looks_like_var(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+fn word_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
+        && s != "_"
+        && s != "not"
+        && !(s == "v" || s == "n")
+}
+
+/// Render a term; `name_slot` says whether a bare word defaults to the
+/// name sort in this position.
+fn render_term(t: Term, name_slot: bool, out: &mut String) {
+    match t {
+        Term::Var(v) => out.push_str(v.as_str()),
+        Term::Const(Symbol::Null) => out.push('_'),
+        Term::Const(sym) => {
+            let text = sym.text().expect("non-null constant");
+            let bare_ok = word_ok(text) && !looks_like_var(text);
+            let matches_default = match sym {
+                Symbol::Name(_) => name_slot,
+                Symbol::Value(_) => !name_slot,
+                Symbol::Null => unreachable!(),
+            };
+            if bare_ok && matches_default {
+                out.push_str(text);
+            } else {
+                let tag = if sym.is_name() { 'n' } else { 'v' };
+                if word_ok(text) {
+                    write!(out, "{tag}:{text}").expect("string write");
+                } else {
+                    // The surface syntax has no quoting inside tags for
+                    // arbitrary text; fall back to quoted words (names).
+                    write!(out, "\"{text}\"").expect("string write");
+                }
+            }
+        }
+    }
+}
+
+fn render_atom(a: &Atom, out: &mut String) {
+    render_term(a.rel, true, out);
+    out.push('[');
+    render_term(a.tid, false, out);
+    out.push_str(" : ");
+    render_term(a.attr, true, out);
+    out.push_str(" -> ");
+    render_term(a.value, false, out);
+    out.push(']');
+}
+
+fn render_rule(r: &Rule, out: &mut String) {
+    // Heads sharing (rel, tid) — the only shape the parser produces —
+    // render in the multi-pair surface form `rel[T : a -> X, b -> Y]`.
+    let (first_rel, first_tid) = (r.head[0].rel, r.head[0].tid);
+    let groupable = r
+        .head
+        .iter()
+        .all(|h| h.rel == first_rel && h.tid == first_tid);
+    if groupable {
+        render_term(first_rel, true, out);
+        out.push('[');
+        render_term(first_tid, false, out);
+        out.push_str(" : ");
+        for (i, h) in r.head.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            render_term(h.attr, true, out);
+            out.push_str(" -> ");
+            render_term(h.value, false, out);
+        }
+        out.push(']');
+    } else {
+        // Hand-built AST with heterogeneous heads: not expressible in the
+        // surface syntax as one rule; rendered as separate atoms for
+        // display purposes.
+        for (i, h) in r.head.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            render_atom(h, out);
+        }
+    }
+    if !r.body.is_empty() {
+        out.push_str(" :- ");
+        for (i, lit) in r.body.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match lit {
+                Literal::Pos(a) => render_atom(a, out),
+                Literal::Neg(a) => {
+                    out.push_str("not ");
+                    render_atom(a, out);
+                }
+                Literal::Cmp { op, lhs, rhs } => {
+                    render_term(*lhs, false, out);
+                    write!(out, " {} ", op.text()).expect("string write");
+                    render_term(*rhs, false, out);
+                }
+            }
+        }
+    }
+    out.push_str(".\n");
+}
+
+/// Render a program in the concrete syntax.
+///
+/// Multi-head rules render as multiple head atoms separated by commas,
+/// which the parser reads back as the same flattened rule when the heads
+/// share their tid (the flattening normal form); programs produced by the
+/// parser round-trip exactly.
+pub fn render(p: &SlProgram) -> String {
+    let mut out = String::new();
+    for r in &p.rules {
+        render_rule(r, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let rendered = render(&p1);
+        let p2 = parse(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\nrendered:\n{rendered}"));
+        assert_eq!(p1, p2, "round trip changed program:\n{rendered}");
+    }
+
+    #[test]
+    fn round_trips_multi_pair_heads() {
+        round_trip("out[T : a -> X, b -> Y] :- r[T : a -> X], r[T : b -> Y].");
+    }
+
+    #[test]
+    fn round_trips_representative_programs() {
+        round_trip("big[T : part -> P] :- sales[T : part -> P], sales[T : sold -> S], S >= 60.");
+        round_trip("flat[T : A -> V] :- sales[T : A -> V].");
+        round_trip("P[T : region -> R] :- sales[T : part -> P], sales[T : region -> R].");
+        round_trip(
+            "rest[T : part -> P] :- sales[T : part -> P], not big[T : part -> P], P != v:m.",
+        );
+        round_trip("fact[t0 : kind -> special].");
+    }
+
+    #[test]
+    fn sort_tags_render_when_defaults_mismatch() {
+        // A *name* in value position must carry its tag.
+        round_trip("ans[T : region -> n:Total] :- r[T : x -> _].");
+        // A *value* in relation position likewise.
+        round_trip("ans[T : a -> X] :- v:east[T : a -> X].");
+    }
+
+    #[test]
+    fn uppercase_constants_render_tagged() {
+        // The constant name "Total" would otherwise read back as a
+        // variable.
+        round_trip("ans[T : n:Region -> X] :- r[T : n:Region -> X].");
+    }
+
+    #[test]
+    fn rendering_is_readable() {
+        let p = parse("big[T : part -> P] :- sales[T : part -> P].").unwrap();
+        assert_eq!(
+            render(&p),
+            "big[T : part -> P] :- sales[T : part -> P].\n"
+        );
+    }
+}

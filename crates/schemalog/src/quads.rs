@@ -1,0 +1,243 @@
+//! The quadruple view of a SchemaLog database.
+//!
+//! SchemaLog_d formulas speak about a relational database through atoms
+//! `rel[tid : attr → value]`; semantically the database *is* a set of
+//! quadruples `(rel, tid, attr, value)` — the same move as the paper's
+//! canonical representation (§4.1), which is why the Theorem 4.5 embedding
+//! factors through it.
+
+use std::collections::HashMap;
+use tabular_core::{Symbol, SymbolSet};
+use tabular_relational::relation::{RelDatabase, Relation};
+
+/// One fact: `(rel, tid, attr, value)`.
+pub type Quad = [Symbol; 4];
+
+/// A set of quadruples with a per-relation index.
+#[derive(Clone, Debug, Default)]
+pub struct QuadDb {
+    quads: Vec<Quad>,
+    seen: std::collections::HashSet<Quad>,
+    by_rel: HashMap<Symbol, Vec<usize>>,
+    by_rel_tid: HashMap<(Symbol, Symbol), Vec<usize>>,
+}
+
+impl QuadDb {
+    /// Empty database.
+    pub fn new() -> QuadDb {
+        QuadDb::default()
+    }
+
+    /// Insert a quad; returns true if new.
+    pub fn insert(&mut self, q: Quad) -> bool {
+        if !self.seen.insert(q) {
+            return false;
+        }
+        self.by_rel.entry(q[0]).or_default().push(self.quads.len());
+        self.by_rel_tid
+            .entry((q[0], q[1]))
+            .or_default()
+            .push(self.quads.len());
+        self.quads.push(q);
+        true
+    }
+
+    /// Membership.
+    pub fn contains(&self, q: &Quad) -> bool {
+        self.seen.contains(q)
+    }
+
+    /// Number of quads.
+    pub fn len(&self) -> usize {
+        self.quads.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.quads.is_empty()
+    }
+
+    /// All quads.
+    pub fn iter(&self) -> impl Iterator<Item = &Quad> {
+        self.quads.iter()
+    }
+
+    /// Quads of one relation (fast path for constant relation terms).
+    pub fn iter_rel(&self, rel: Symbol) -> impl Iterator<Item = &Quad> {
+        self.by_rel
+            .get(&rel)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.quads[i])
+    }
+
+    /// Quads of one relation and tuple id (the hot path of the join: the
+    /// first atom of a rule binds the tid, every further atom on the same
+    /// tuple hits this index).
+    pub fn iter_rel_tid(&self, rel: Symbol, tid: Symbol) -> impl Iterator<Item = &Quad> {
+        self.by_rel_tid
+            .get(&(rel, tid))
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.quads[i])
+    }
+
+    /// The distinct relation symbols present.
+    pub fn rel_names(&self) -> SymbolSet {
+        self.by_rel.keys().copied().collect()
+    }
+
+    /// View a relational database as quads, minting one fresh tuple id per
+    /// tuple (tuple ids are first-class citizens in the SchemaLog model).
+    pub fn from_relations(db: &RelDatabase) -> QuadDb {
+        let mut out = QuadDb::new();
+        for rel in db.relations() {
+            for tuple in rel.tuples() {
+                let tid = Symbol::fresh_value();
+                for (&attr, &val) in rel.attrs().iter().zip(tuple) {
+                    out.insert([rel.name(), tid, attr, val]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Reassemble relations from quads. Each requested relation gets the
+    /// union of attributes occurring for it (sorted canonically); tuples
+    /// are grouped by tuple id, missing attributes filled with ⊥. The
+    /// tuple ids themselves are dropped (they are representation, not
+    /// data).
+    pub fn to_relations(&self, rels: &[Symbol]) -> RelDatabase {
+        let mut out = RelDatabase::new();
+        for &rel in rels {
+            let quads: Vec<&Quad> = self.iter_rel(rel).collect();
+            let mut attrs: Vec<Symbol> = SymbolSet::from_iter(quads.iter().map(|q| q[2]))
+                .iter()
+                .collect();
+            attrs.sort_by(|a, b| a.canonical_cmp(*b));
+            let mut rows: Vec<(Symbol, Vec<Symbol>)> = Vec::new();
+            for q in &quads {
+                let slot = match rows.iter_mut().find(|(tid, _)| *tid == q[1]) {
+                    Some((_, row)) => row,
+                    None => {
+                        rows.push((q[1], vec![Symbol::Null; attrs.len()]));
+                        &mut rows.last_mut().expect("just pushed").1
+                    }
+                };
+                let j = attrs.iter().position(|&a| a == q[2]).expect("attr known");
+                slot[j] = q[3];
+            }
+            let mut relation =
+                Relation::empty(rel, attrs).expect("attrs are a deduplicated set");
+            for (_, row) in rows {
+                relation.insert(row).expect("arity by construction");
+            }
+            out.set(relation);
+        }
+        out
+    }
+
+    /// The quads as a 4-ary relation `Quad(Rel, Tid, Attr, Val)` — the
+    /// bridge into the Theorem 4.1 pipeline.
+    pub fn to_relation(&self, name: Symbol) -> Relation {
+        let mut r = Relation::empty(
+            name,
+            vec![
+                Symbol::name("Rel"),
+                Symbol::name("Tid"),
+                Symbol::name("Attr"),
+                Symbol::name("Val"),
+            ],
+        )
+        .expect("static attrs");
+        for q in &self.quads {
+            r.insert(q.to_vec()).expect("arity 4");
+        }
+        r
+    }
+
+    /// Inverse of [`QuadDb::to_relation`].
+    pub fn from_relation(rel: &Relation) -> QuadDb {
+        let mut out = QuadDb::new();
+        for t in rel.tuples() {
+            out.insert([t[0], t[1], t[2], t[3]]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> RelDatabase {
+        RelDatabase::from_relations([
+            Relation::new("sales", &["part", "sold"], &[&["nuts", "50"], &["bolts", "70"]]),
+            Relation::new("regions", &["name"], &[&["east"]]),
+        ])
+    }
+
+    #[test]
+    fn from_relations_counts() {
+        let q = QuadDb::from_relations(&db());
+        assert_eq!(q.len(), 2 * 2 + 1);
+        assert_eq!(q.iter_rel(Symbol::name("sales")).count(), 4);
+        assert_eq!(q.rel_names().len(), 2);
+    }
+
+    #[test]
+    fn tuples_share_a_tid_per_row() {
+        let q = QuadDb::from_relations(&db());
+        let tids: SymbolSet = q.iter_rel(Symbol::name("sales")).map(|x| x[1]).collect();
+        assert_eq!(tids.len(), 2);
+    }
+
+    #[test]
+    fn round_trip_to_relations() {
+        let original = db();
+        let q = QuadDb::from_relations(&original);
+        let names: Vec<Symbol> = original.relations().iter().map(|r| r.name()).collect();
+        let back = q.to_relations(&names);
+        assert!(back.equiv(&original));
+    }
+
+    #[test]
+    fn ragged_quads_fill_with_null() {
+        let mut q = QuadDb::new();
+        let t1 = Symbol::value("t1");
+        let t2 = Symbol::value("t2");
+        q.insert([Symbol::name("r"), t1, Symbol::name("a"), Symbol::value("1")]);
+        q.insert([Symbol::name("r"), t2, Symbol::name("b"), Symbol::value("2")]);
+        let back = q.to_relations(&[Symbol::name("r")]);
+        let r = back.get_str("r").unwrap();
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 2);
+        assert!(r.tuples().any(|t| t.contains(&Symbol::Null)));
+    }
+
+    #[test]
+    fn quad_relation_round_trip() {
+        let q = QuadDb::from_relations(&db());
+        let rel = q.to_relation(Symbol::name("Quad"));
+        assert_eq!(rel.len(), q.len());
+        let back = QuadDb::from_relation(&rel);
+        assert_eq!(back.len(), q.len());
+        for quad in q.iter() {
+            assert!(back.contains(quad));
+        }
+    }
+
+    #[test]
+    fn insert_dedupes() {
+        let mut q = QuadDb::new();
+        let quad = [
+            Symbol::name("r"),
+            Symbol::value("t"),
+            Symbol::name("a"),
+            Symbol::value("1"),
+        ];
+        assert!(q.insert(quad));
+        assert!(!q.insert(quad));
+        assert_eq!(q.len(), 1);
+    }
+}

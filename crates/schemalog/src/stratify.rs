@@ -1,0 +1,225 @@
+//! Stratification of SchemaLog_d programs with negation.
+//!
+//! Predicates are the *constant* relation terms; a variable relation term
+//! in a positive body atom depends on every predicate, and a variable
+//! *head* defines every predicate. Negated atoms must name their relation
+//! with a constant ([`SlError::DynamicNegation`]) — otherwise strata are
+//! not well defined.
+
+use crate::ast::{Literal, SlProgram, Term};
+use crate::error::{Result, SlError};
+use tabular_core::Symbol;
+
+/// A node of the dependency graph: a named predicate or the wildcard
+/// standing for "any relation" (variable relation terms).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Node {
+    Named(Symbol),
+    Any,
+}
+
+/// Result of stratification: for each rule, its stratum, plus the number
+/// of strata.
+#[derive(Clone, Debug)]
+pub struct Strata {
+    /// `stratum[i]` is the stratum of rule `i`.
+    pub rule_stratum: Vec<usize>,
+    /// Total number of strata.
+    pub count: usize,
+}
+
+/// Compute strata. Errors with [`SlError::DynamicNegation`] when a negated
+/// atom has a variable relation term, and [`SlError::NotStratified`] when a
+/// predicate depends negatively on itself (possibly through the
+/// wildcard).
+pub fn stratify(program: &SlProgram) -> Result<Strata> {
+    // Collect nodes.
+    let mut nodes: Vec<Node> = vec![Node::Any];
+    let add = |nodes: &mut Vec<Node>, t: Term| -> Node {
+        let n = match t {
+            Term::Const(s) => Node::Named(s),
+            Term::Var(_) => Node::Any,
+        };
+        if !nodes.contains(&n) {
+            nodes.push(n);
+        }
+        n
+    };
+    // Edges: (body node, head node, negated).
+    let mut edges: Vec<(Node, Node, bool)> = Vec::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let heads: Vec<Node> = rule.head.iter().map(|h| add(&mut nodes, h.rel)).collect();
+        for lit in &rule.body {
+            let (node, neg) = match lit {
+                Literal::Pos(a) => (add(&mut nodes, a.rel), false),
+                Literal::Neg(a) => {
+                    if a.rel.is_var() {
+                        return Err(SlError::DynamicNegation { rule: ri });
+                    }
+                    (add(&mut nodes, a.rel), true)
+                }
+                Literal::Cmp { .. } => continue,
+            };
+            for &h in &heads {
+                edges.push((node, h, neg));
+            }
+        }
+    }
+    // Wire up the wildcard only as far as the program actually uses it:
+    // a variable relation term in a positive body reads *every* predicate
+    // (named → Any), and a variable head defines every predicate
+    // (Any → named). Unconditional aliasing would collapse all predicates
+    // into one SCC and spuriously reject ordinary stratified programs.
+    let reads_any = program.rules.iter().any(|r| {
+        r.body.iter().any(|l| matches!(l, Literal::Pos(a) if a.rel.is_var()))
+    });
+    let defines_any = program.has_dynamic_heads();
+    let named: Vec<Node> = nodes
+        .iter()
+        .copied()
+        .filter(|n| matches!(n, Node::Named(_)))
+        .collect();
+    for n in &named {
+        if reads_any {
+            edges.push((*n, Node::Any, false));
+        }
+        if defines_any {
+            edges.push((Node::Any, *n, false));
+        }
+    }
+
+    // Relaxation: stratum[h] ≥ stratum[b] (+1 if negated).
+    let idx = |n: Node, nodes: &[Node]| nodes.iter().position(|&x| x == n).expect("known node");
+    let mut stratum = vec![0usize; nodes.len()];
+    let bound = nodes.len() + 1;
+    loop {
+        let mut changed = false;
+        for &(b, h, neg) in &edges {
+            let need = stratum[idx(b, &nodes)] + usize::from(neg);
+            let hi = idx(h, &nodes);
+            if stratum[hi] < need {
+                stratum[hi] = need;
+                changed = true;
+                if stratum[hi] > bound {
+                    return Err(SlError::NotStratified);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let rule_stratum: Vec<usize> = program
+        .rules
+        .iter()
+        .map(|r| {
+            r.head
+                .iter()
+                .map(|h| {
+                    let n = match h.rel {
+                        Term::Const(s) => Node::Named(s),
+                        Term::Var(_) => Node::Any,
+                    };
+                    stratum[idx(n, &nodes)]
+                })
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let count = rule_stratum.iter().copied().max().unwrap_or(0) + 1;
+    Ok(Strata {
+        rule_stratum,
+        count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Rule};
+
+    fn atom(rel: Term) -> Atom {
+        Atom {
+            rel,
+            tid: Term::var("T"),
+            attr: Term::name("a"),
+            value: Term::var("X"),
+        }
+    }
+
+    fn rule(head: Term, body: Vec<Literal>) -> Rule {
+        Rule {
+            head: vec![atom(head)],
+            body,
+        }
+    }
+
+    #[test]
+    fn positive_programs_are_single_stratum() {
+        let p = SlProgram {
+            rules: vec![
+                rule(Term::name("q"), vec![Literal::Pos(atom(Term::name("e")))]),
+                rule(Term::name("q"), vec![Literal::Pos(atom(Term::name("q")))]),
+            ],
+        };
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn negation_pushes_to_a_later_stratum() {
+        let p = SlProgram {
+            rules: vec![
+                rule(Term::name("q"), vec![Literal::Pos(atom(Term::name("e")))]),
+                rule(
+                    Term::name("r"),
+                    vec![
+                        Literal::Pos(atom(Term::name("e"))),
+                        Literal::Neg(atom(Term::name("q"))),
+                    ],
+                ),
+            ],
+        };
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.rule_stratum, vec![0, 1]);
+    }
+
+    #[test]
+    fn negative_self_dependency_is_rejected() {
+        let p = SlProgram {
+            rules: vec![rule(
+                Term::name("q"),
+                vec![Literal::Neg(atom(Term::name("q")))],
+            )],
+        };
+        assert!(matches!(stratify(&p), Err(SlError::NotStratified)));
+    }
+
+    #[test]
+    fn negation_through_the_wildcard_is_rejected() {
+        // q :- not r.   X[..] :- q[..]  — the variable head may redefine r.
+        let p = SlProgram {
+            rules: vec![
+                rule(Term::name("q"), vec![Literal::Neg(atom(Term::name("r")))]),
+                rule(Term::var("X"), vec![Literal::Pos(atom(Term::name("q")))]),
+            ],
+        };
+        assert!(matches!(stratify(&p), Err(SlError::NotStratified)));
+    }
+
+    #[test]
+    fn dynamic_negation_is_rejected() {
+        let p = SlProgram {
+            rules: vec![rule(
+                Term::name("q"),
+                vec![Literal::Neg(atom(Term::var("R")))],
+            )],
+        };
+        assert!(matches!(
+            stratify(&p),
+            Err(SlError::DynamicNegation { rule: 0 })
+        ));
+    }
+}

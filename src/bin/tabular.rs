@@ -1,0 +1,225 @@
+//! `tabular` — run tabular algebra programs over CSV tables from the
+//! command line.
+//!
+//! ```sh
+//! tabular run program.ta --table sales.csv [--table more.csv …]
+//!         [--out Name …] [--optimize] [--stats]
+//! ```
+//!
+//! Tables load via the CSV convention of `tabular_core::io` (first record:
+//! table name + column attributes; `_` is ⊥; `n:`/`v:` sort tags).
+//! Programs use the textual syntax of `tabular_algebra::parser`. Without
+//! `--out`, every non-scratch table of the final database is printed.
+
+use std::process::ExitCode;
+use tables_paradigm::algebra::{optimize, parser, pretty, run_with_stats, EvalLimits};
+use tables_paradigm::core::{interner, io, Database, Symbol};
+
+struct Options {
+    program_path: String,
+    tables: Vec<String>,
+    outputs: Vec<String>,
+    optimize: bool,
+    stats: bool,
+}
+
+const USAGE: &str = "usage: tabular run <program.ta> --table <file.csv> [--table …] \
+[--out <Name> …] [--optimize] [--stats]\n       tabular fmt <program.ta>";
+
+fn parse_args(args: &[String]) -> Result<(String, Options), String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or(USAGE)?.clone();
+    let mut opts = Options {
+        program_path: String::new(),
+        tables: Vec::new(),
+        outputs: Vec::new(),
+        optimize: false,
+        stats: false,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--table" => opts
+                .tables
+                .push(it.next().ok_or("--table needs a file")?.clone()),
+            "--out" => opts
+                .outputs
+                .push(it.next().ok_or("--out needs a table name")?.clone()),
+            "--optimize" => opts.optimize = true,
+            "--stats" => opts.stats = true,
+            _ if arg.starts_with("--") => return Err(format!("unknown flag {arg}\n{USAGE}")),
+            _ if opts.program_path.is_empty() => opts.program_path = arg.clone(),
+            _ => return Err(format!("unexpected argument {arg}\n{USAGE}")),
+        }
+    }
+    if opts.program_path.is_empty() {
+        return Err(format!("missing program file\n{USAGE}"));
+    }
+    Ok((command, opts))
+}
+
+fn load_database(paths: &[String]) -> Result<Database, String> {
+    let mut db = Database::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let table = io::from_csv(&text).map_err(|e| format!("{path}: {e}"))?;
+        db.insert(table);
+    }
+    Ok(db)
+}
+
+fn execute(command: &str, opts: &Options) -> Result<String, String> {
+    let source = std::fs::read_to_string(&opts.program_path)
+        .map_err(|e| format!("{}: {e}", opts.program_path))?;
+    let mut program = parser::parse(&source).map_err(|e| e.to_string())?;
+
+    if command == "fmt" {
+        return Ok(pretty::render(&program));
+    }
+    if command != "run" {
+        return Err(format!("unknown command {command:?}\n{USAGE}"));
+    }
+
+    if opts.optimize {
+        program = optimize(&program);
+    }
+    let db = load_database(&opts.tables)?;
+    let (result, stats) =
+        run_with_stats(&program, &db, &EvalLimits::default()).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let wanted: Vec<Symbol> = opts.outputs.iter().map(|n| Symbol::name(n)).collect();
+    for t in result.tables() {
+        let visible = if wanted.is_empty() {
+            t.name()
+                .text()
+                .is_none_or(|text| !interner::is_reserved(text))
+        } else {
+            wanted.contains(&t.name())
+        };
+        if visible {
+            out.push_str(&t.to_string());
+            out.push('\n');
+        }
+    }
+    if opts.stats {
+        out.push_str("-- statistics --\n");
+        for (op, micros, count) in stats.hottest() {
+            out.push_str(&format!("{op:<15} {count:>6}× {micros:>10}µs\n"));
+        }
+        out.push_str(&format!(
+            "while iterations: {}; tables produced: {}; peak table: {} cells\n",
+            stats.while_iterations, stats.tables_produced, stats.max_table_cells
+        ));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|(cmd, opts)| execute(&cmd, &opts)) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("tabular: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tables_paradigm::core::fixtures;
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let dir = std::env::temp_dir().join("tabular-cli-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(name);
+        std::fs::write(&path, contents).expect("write temp file");
+        path.to_string_lossy().into_owned()
+    }
+
+    fn sales_csv() -> String {
+        write_temp("sales.csv", &io::to_csv(&fixtures::sales_relation()))
+    }
+
+    #[test]
+    fn run_executes_a_pivot_program() {
+        let program = write_temp(
+            "pivot.ta",
+            "Cross <- GROUP[by {Region} on {Sold}](Sales)\n\
+             Cross <- CLEANUP[by {Part} on {_}](Cross)\n\
+             Cross <- PURGE[on {Sold} by {Region}](Cross)\n",
+        );
+        let (cmd, opts) = parse_args(&[
+            "run".into(),
+            program,
+            "--table".into(),
+            sales_csv(),
+            "--out".into(),
+            "Cross".into(),
+        ])
+        .unwrap();
+        let out = execute(&cmd, &opts).unwrap();
+        assert!(out.contains("Cross"));
+        assert!(out.contains("east"));
+        assert!(out.contains("nuts"));
+        // Only the requested table is printed.
+        assert!(!out.contains("| Sales"));
+    }
+
+    #[test]
+    fn stats_flag_appends_statistics() {
+        let program = write_temp("t.ta", "T <- TRANSPOSE(Sales)\n");
+        let (cmd, opts) = parse_args(&[
+            "run".into(),
+            program,
+            "--table".into(),
+            sales_csv(),
+            "--stats".into(),
+        ])
+        .unwrap();
+        let out = execute(&cmd, &opts).unwrap();
+        assert!(out.contains("-- statistics --"));
+        assert!(out.contains("TRANSPOSE"));
+    }
+
+    #[test]
+    fn optimize_flag_is_accepted() {
+        let program = write_temp("opt.ta", "T <- COPY(Sales)\n");
+        let (cmd, opts) = parse_args(&[
+            "run".into(),
+            program,
+            "--table".into(),
+            sales_csv(),
+            "--optimize".into(),
+        ])
+        .unwrap();
+        let out = execute(&cmd, &opts).unwrap();
+        assert!(out.contains("| T "));
+    }
+
+    #[test]
+    fn fmt_pretty_prints() {
+        let program = write_temp("fmt.ta", "T<-GROUP[by {A} on {B}](R)");
+        let (cmd, opts) = parse_args(&["fmt".into(), program]).unwrap();
+        let out = execute(&cmd, &opts).unwrap();
+        assert_eq!(out, "T <- GROUP[by A on B](R)\n");
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["run".into()]).is_err());
+        let bad = write_temp("bad.ta", "T <- NOPE(R)");
+        let (cmd, opts) = parse_args(&["run".into(), bad]).unwrap();
+        assert!(execute(&cmd, &opts).unwrap_err().contains("unknown operation"));
+        let good = write_temp("good.ta", "T <- COPY(R)");
+        let (cmd, opts) =
+            parse_args(&["run".into(), good, "--table".into(), "/nonexistent.csv".into()])
+                .unwrap();
+        assert!(execute(&cmd, &opts).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Shared generators for the integration test suite.
+
+// Each integration test binary compiles this module separately and uses
+// a different subset of the generators.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+use tables_paradigm::prelude::*;
+
+/// A symbol from a small pool: names `A..E`, values `v0..v9`, or ⊥.
+pub fn arb_symbol() -> impl Strategy<Value = Symbol> {
+    prop_oneof![
+        2 => (0u8..5).prop_map(|i| Symbol::name(&format!("{}", (b'A' + i) as char))),
+        5 => (0u8..10).prop_map(|i| Symbol::value(&format!("v{i}"))),
+        1 => Just(Symbol::Null),
+    ]
+}
+
+/// A non-⊥ value symbol.
+pub fn arb_value() -> impl Strategy<Value = Symbol> {
+    (0u8..12).prop_map(|i| Symbol::value(&format!("v{i}")))
+}
+
+/// An arbitrary (possibly messy) table: 1–5 data rows and columns,
+/// attributes and entries drawn from the symbol pool — duplicated
+/// attributes, data in attribute positions, ⊥ anywhere.
+pub fn arb_table() -> impl Strategy<Value = Table> {
+    (1usize..5, 1usize..5).prop_flat_map(|(h, w)| {
+        let cells = proptest::collection::vec(arb_symbol(), (h + 1) * (w + 1));
+        ((0u8..3), cells).prop_map(move |(name_i, cells)| {
+            let mut t = Table::new(Symbol::name(&format!("T{name_i}")), h, w);
+            let mut it = cells.into_iter();
+            for i in 0..=h {
+                for j in 0..=w {
+                    if i == 0 && j == 0 {
+                        let _ = it.next();
+                        continue;
+                    }
+                    t.set(i, j, it.next().expect("sized"));
+                }
+            }
+            t
+        })
+    })
+}
+
+/// A database of 1–3 arbitrary tables.
+pub fn arb_database() -> impl Strategy<Value = Database> {
+    proptest::collection::vec(arb_table(), 1..4).prop_map(Database::from_tables)
+}
+
+/// A relational fact table `Facts(K, C, M)`: key, category, numeric
+/// measure — the shape pivot/summarize operate on.
+pub fn arb_fact_table() -> impl Strategy<Value = Table> {
+    proptest::collection::vec((0u8..6, 0u8..4, 0u16..100), 1..20).prop_map(|rows| {
+        let mut seen = std::collections::HashSet::new();
+        let tuples: Vec<Vec<Symbol>> = rows
+            .into_iter()
+            .filter(|(k, c, _)| seen.insert((*k, *c))) // one fact per (key, cat)
+            .map(|(k, c, m)| {
+                vec![
+                    Symbol::value(&format!("k{k}")),
+                    Symbol::value(&format!("c{c}")),
+                    Symbol::value(&format!("{m}")),
+                ]
+            })
+            .collect();
+        Table::relational_syms(
+            Symbol::name("Facts"),
+            &[Symbol::name("K"), Symbol::name("C"), Symbol::name("M")],
+            &tuples,
+        )
+    })
+}
+
+/// A random relational database over fixed schemas R(A,B), S(A,B) with
+/// small value pools — input for FO-program equivalence tests.
+pub fn arb_rel_database() -> impl Strategy<Value = RelDatabase> {
+    let tuples = || proptest::collection::vec((0u8..6, 0u8..6), 0..12);
+    (tuples(), tuples()).prop_map(|(r, s)| {
+        let mk = |name: &str, rows: Vec<(u8, u8)>| {
+            let mut rel = Relation::new(name, &["A", "B"], &[]);
+            for (a, b) in rows {
+                rel.insert(vec![
+                    Symbol::value(&format!("v{a}")),
+                    Symbol::value(&format!("v{b}")),
+                ])
+                .expect("arity");
+            }
+            rel
+        };
+        RelDatabase::from_relations([mk("R", r), mk("S", s)])
+    })
+}

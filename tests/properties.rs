@@ -1,0 +1,294 @@
+//! Property-based tests on the core data structures and the algebra's
+//! invariants, over arbitrary (messy) tables: duplicated attributes, data
+//! in attribute positions, ⊥ everywhere.
+
+mod common;
+
+use common::{arb_database, arb_fact_table, arb_symbol, arb_table, arb_value};
+use proptest::prelude::*;
+use tables_paradigm::algebra::ops;
+use tables_paradigm::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ------------------------------------------------------------------
+    // Model-level invariants (§2)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn transpose_is_involutive(t in arb_table()) {
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent(t in arb_table()) {
+        let c = t.canonicalize();
+        prop_assert_eq!(c.canonicalize(), c);
+    }
+
+    #[test]
+    fn equiv_is_reflexive_and_permutation_blind(t in arb_table()) {
+        prop_assert!(t.equiv(&t));
+        if t.height() >= 2 {
+            let mut rows: Vec<usize> = (1..=t.height()).collect();
+            rows.reverse();
+            prop_assert!(t.equiv(&t.select_rows(&rows)));
+        }
+        if t.width() >= 2 {
+            let mut cols: Vec<usize> = (1..=t.width()).collect();
+            cols.rotate_left(1);
+            prop_assert!(t.equiv(&t.select_cols(&cols)));
+        }
+    }
+
+    #[test]
+    fn weak_equality_laws(a in arb_symbol(), b in arb_symbol()) {
+        // weak_eq is reflexive and symmetric; ⊥ relates to everything.
+        prop_assert!(a.weak_eq(a));
+        prop_assert_eq!(a.weak_eq(b), b.weak_eq(a));
+        prop_assert!(Symbol::Null.weak_eq(a));
+    }
+
+    #[test]
+    fn join_is_commutative_and_respects_subsumption(a in arb_symbol(), b in arb_symbol()) {
+        prop_assert_eq!(a.join(b), b.join(a));
+        if let Some(j) = a.join(b) {
+            prop_assert!(a.subsumed_by(j));
+            prop_assert!(b.subsumed_by(j));
+        }
+    }
+
+    #[test]
+    fn row_subsumption_is_reflexive_and_transitive_on_padding(t in arb_table()) {
+        for i in 1..=t.height() {
+            prop_assert!(t.row_subsumed_by(i, &t, i));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Traditional operations (§3.1)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn union_height_and_width_add(a in arb_table(), b in arb_table()) {
+        let u = ops::union(&a, &b, Symbol::name("U"));
+        prop_assert_eq!(u.height(), a.height() + b.height());
+        prop_assert_eq!(u.width(), a.width() + b.width());
+    }
+
+    #[test]
+    fn difference_with_self_is_empty(t in arb_table()) {
+        prop_assert_eq!(ops::difference(&t, &t, Symbol::name("D")).height(), 0);
+    }
+
+    #[test]
+    fn difference_never_grows(a in arb_table(), b in arb_table()) {
+        let d = ops::difference(&a, &b, Symbol::name("D"));
+        prop_assert!(d.height() <= a.height());
+        // Every surviving row is a row of a.
+        for i in 1..=d.height() {
+            prop_assert!((1..=a.height()).any(|k| a.storage_row(k) == d.storage_row(i)));
+        }
+    }
+
+    #[test]
+    fn intersection_is_commutative_up_to_content(a in arb_table(), b in arb_table()) {
+        let x = ops::intersect(&a, &b, Symbol::name("I"));
+        let y = ops::intersect(&b, &a, Symbol::name("I"));
+        // Same number of matched rows both ways (contents live in each
+        // operand's own scheme, so compare cardinality).
+        prop_assert_eq!(x.height(), y.height());
+    }
+
+    #[test]
+    fn product_cardinality(a in arb_table(), b in arb_table()) {
+        let p = ops::product(&a, &b, Symbol::name("P"));
+        prop_assert_eq!(p.height(), a.height() * b.height());
+    }
+
+    #[test]
+    fn project_star_is_identity_on_columns(t in arb_table()) {
+        let p = ops::project(&t, &t.scheme(), Symbol::name("P"));
+        prop_assert_eq!(p.width(), t.width());
+        prop_assert_eq!(p.height(), t.height());
+    }
+
+    #[test]
+    fn select_keeps_a_subset(t in arb_table(), a in arb_symbol(), b in arb_symbol()) {
+        let s = ops::select(&t, a, b, Symbol::name("S"));
+        prop_assert!(s.height() <= t.height());
+    }
+
+    #[test]
+    fn rename_then_rename_back(t in arb_table(), v in arb_value()) {
+        // Renaming to a fresh attribute and back is the identity whenever
+        // the new name did not already occur.
+        let fresh = Symbol::name("FreshAttr!");
+        prop_assume!(!t.scheme().contains(fresh));
+        let renamed = ops::rename(&t, v, fresh, t.name());
+        let back = ops::rename(&renamed, fresh, v, t.name());
+        prop_assert_eq!(back, t);
+    }
+
+    // ------------------------------------------------------------------
+    // Restructuring (§3.2) and redundancy removal (§3.4)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn group_preserves_information(t in arb_fact_table()) {
+        // group then merge then ⊥-elimination recovers the original rows.
+        let by = SymbolSet::from_iter([Symbol::name("C")]);
+        let on = SymbolSet::from_iter([Symbol::name("M")]);
+        let g = ops::group(&t, &by, &on, Symbol::name("G"));
+        let m = ops::merge(&g, &on, &by, Symbol::name("M2"));
+        // Every original tuple appears as a row of the merged table.
+        for i in 1..=t.height() {
+            let want = [t.get(i, 1), t.get(i, 2), t.get(i, 3)];
+            prop_assert!(
+                (1..=m.height()).any(|k| {
+                    let row = m.data_row(k);
+                    row.contains(&want[0]) && row.contains(&want[1]) && row.contains(&want[2])
+                }),
+                "tuple {:?} lost by group∘merge", want
+            );
+        }
+    }
+
+    #[test]
+    fn split_partitions_the_rows(t in arb_fact_table()) {
+        let on = SymbolSet::from_iter([Symbol::name("C")]);
+        let parts = ops::split(&t, &on, Symbol::name("S"));
+        let data_rows: usize = parts.iter().map(|p| p.height().saturating_sub(1)).sum();
+        prop_assert_eq!(data_rows, t.height());
+        // Each part has exactly one header row (row attribute C).
+        for p in &parts {
+            let headers = (1..=p.height())
+                .filter(|&i| p.get(i, 0) == Symbol::name("C"))
+                .count();
+            prop_assert_eq!(headers, 1);
+        }
+    }
+
+    #[test]
+    fn cleanup_is_idempotent_and_shrinking(t in arb_table()) {
+        let by = t.scheme();
+        let on = t.row_scheme();
+        let once = ops::cleanup(&t, &by, &on, t.name());
+        prop_assert!(once.height() <= t.height());
+        let twice = ops::cleanup(&once, &by, &on, t.name());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn cleanup_output_subsumes_input_rows(t in arb_table()) {
+        let by = SymbolSet::new();
+        let on = t.row_scheme();
+        let c = ops::cleanup(&t, &by, &on, t.name());
+        for i in 1..=t.height() {
+            prop_assert!(
+                (1..=c.height()).any(|k| t.get(i, 0) == c.get(k, 0)
+                    && t.row_subsumed_by(i, &c, k)),
+                "input row {} not subsumed", i
+            );
+        }
+    }
+
+    #[test]
+    fn classical_union_is_idempotent_commutative(t in arb_fact_table()) {
+        let u = ops::classical_union(&t, &t, t.name());
+        prop_assert!(u.equiv(&t.dedup_rows()), "u:\n{u}\nt:\n{t}");
+    }
+
+    // ------------------------------------------------------------------
+    // Transposition duality (§3.3)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn purge_is_the_transposed_cleanup(t in arb_table()) {
+        let on = t.scheme();
+        let by = t.row_scheme();
+        let direct = ops::purge(&t, &on, &by, t.name());
+        let via_transpose = {
+            let flipped = t.transpose();
+            let cleaned = ops::cleanup(&flipped, &by, &on, t.name());
+            let mut back = cleaned.transpose();
+            back.set_name(t.name());
+            back
+        };
+        prop_assert_eq!(direct, via_transpose);
+    }
+
+    // ------------------------------------------------------------------
+    // Canonical representation (Lemmas 4.2/4.3) — also covered in
+    // lemma_4_2_4_3.rs; kept here as the headline invariant.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn canonical_round_trip(db in arb_database()) {
+        use tables_paradigm::canonical::{decode, encode};
+        let back = decode(&encode(&db)).expect("decode");
+        prop_assert!(back.equiv(&db));
+    }
+
+    // ------------------------------------------------------------------
+    // OLAP: algebraic pivot equals the hand-coded baseline.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pivot_matches_baseline(t in arb_fact_table()) {
+        prop_assume!(t.height() > 0);
+        let algebraic = pivot(
+            &t,
+            Symbol::name("C"),
+            Symbol::name("M"),
+            &EvalLimits::default(),
+        ).expect("pivot");
+        let direct = tables_paradigm::olap::baseline::pivot_direct(
+            &t,
+            Symbol::name("C"),
+            Symbol::name("M"),
+        ).expect("baseline");
+        prop_assert!(algebraic.equiv(&direct), "algebraic:\n{algebraic}\ndirect:\n{direct}");
+    }
+
+    #[test]
+    fn pivot_unpivot_round_trip(t in arb_fact_table()) {
+        prop_assume!(t.height() > 0);
+        let cross = pivot(&t, Symbol::name("C"), Symbol::name("M"), &EvalLimits::default())
+            .expect("pivot");
+        let back = unpivot(&cross, Symbol::name("M"), Symbol::name("C"), &EvalLimits::default())
+            .expect("unpivot");
+        prop_assert_eq!(back.height(), t.height());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Parser ↔ pretty-printer round trip over generated programs.
+    #[test]
+    fn parser_pretty_round_trip(
+        // Leading 't' keeps generated names clear of the bare keywords
+        // (while/do/end/by/on), which the grammar reserves.
+        target in "t[a-z0-9]{0,6}",
+        attr1 in "[A-Z][a-z0-9]{0,6}",
+        attr2 in "[A-Z][a-z0-9]{0,6}",
+        op_idx in 0usize..8,
+    ) {
+        use tables_paradigm::algebra::{parser::parse, pretty::render};
+        let stmt = match op_idx {
+            0 => format!("{target} <- GROUP[by {{{attr1}}} on {{{attr2}}}](R)"),
+            1 => format!("{target} <- MERGE[on {{{attr1}}} by {{{attr2}}}](R)"),
+            2 => format!("{target} <- PROJECT[{{* \\ {attr1}}}](R)"),
+            3 => format!("{target} <- SELECT[{attr1} = {attr2}](R)"),
+            4 => format!("{target} <- CLEANUP[by {{{attr1}}} on {{_}}](R)"),
+            5 => format!("{target} <- SPLIT[on {{{attr1}, {attr2}}}](R)"),
+            6 => format!("{target} <- TUPLENEW[{attr1}](R)"),
+            _ => format!("while {target} do {target} <- DIFFERENCE({target}, R) end"),
+        };
+        let p1 = parse(&stmt).expect("generated statement parses");
+        let p2 = parse(&render(&p1)).expect("rendered form re-parses");
+        prop_assert_eq!(p1, p2);
+    }
+}

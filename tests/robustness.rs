@@ -1,0 +1,149 @@
+//! Robustness suites: parsers and decoders must never panic on arbitrary
+//! input — they return typed errors — and evaluation limits must hold
+//! under adversarial programs.
+
+mod common;
+
+use proptest::prelude::*;
+use tables_paradigm::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tabular algebra parser returns Ok or Err, never panics, on
+    /// arbitrary strings over its alphabet.
+    #[test]
+    fn ta_parser_never_panics(src in "[A-Za-z0-9_<\\-\\(\\)\\[\\]\\{\\},\\\\*:=\" \n]{0,80}") {
+        let _ = tables_paradigm::algebra::parser::parse(&src);
+    }
+
+    /// Same for the SchemaLog parser.
+    #[test]
+    fn schemalog_parser_never_panics(src in "[A-Za-z0-9_\\[\\]:>\\-,\\.=!< \n]{0,80}") {
+        let _ = tables_paradigm::schemalog::parser::parse(&src);
+    }
+
+    /// Same for the CSV reader.
+    #[test]
+    fn csv_reader_never_panics(src in "[A-Za-z0-9_,\"\n:]{0,120}") {
+        let _ = tables_paradigm::core::io::from_csv(&src);
+    }
+
+    /// Whatever the TA parser accepts, the pretty-printer round-trips.
+    #[test]
+    fn accepted_programs_round_trip(src in "[A-Za-z <\\-\\(\\)\\[\\]\\{\\},]{0,60}") {
+        if let Ok(p) = tables_paradigm::algebra::parser::parse(&src) {
+            let rendered = tables_paradigm::algebra::pretty::render(&p);
+            let p2 = tables_paradigm::algebra::parser::parse(&rendered)
+                .expect("rendered output must re-parse");
+            prop_assert_eq!(p, p2);
+        }
+    }
+
+    /// Decoding a random "canonical representation" either succeeds or
+    /// reports a typed error — never panics.
+    #[test]
+    fn decode_never_panics(
+        data in proptest::collection::vec((0u8..6, 0u8..6, 0u8..6, 0u8..6), 0..12),
+        map in proptest::collection::vec((0u8..6, 0u8..8), 0..12),
+    ) {
+        let mut d = Relation::new("Data", &["Tbl", "Row", "Col", "Val"], &[]);
+        for (a, b, c, v) in data {
+            let _ = d.insert(vec![
+                Symbol::value(&format!("i{a}")),
+                Symbol::value(&format!("i{b}")),
+                Symbol::value(&format!("i{c}")),
+                Symbol::value(&format!("i{v}")),
+            ]);
+        }
+        let mut m = Relation::new("Map", &["Id", "Entry"], &[]);
+        for (id, e) in map {
+            let _ = m.insert(vec![
+                Symbol::value(&format!("i{id}")),
+                Symbol::value(&format!("e{e}")),
+            ]);
+        }
+        let rep = RelDatabase::from_relations([d, m]);
+        let _ = tables_paradigm::canonical::decode(&rep);
+    }
+}
+
+/// Adversarial interpreter programs hit limits, not stack overflows or
+/// unbounded memory.
+#[test]
+fn interpreter_limits_hold() {
+    use tables_paradigm::algebra::parser::parse;
+    let db = Database::from_tables([Table::relational("R", &["A"], &[&["1"], &["2"]])]);
+    let tight = EvalLimits {
+        max_while_iters: 3,
+        max_setnew_rows: 16,
+        max_tables: 8,
+        max_cells: 1000,
+        ..EvalLimits::default()
+    };
+
+    // Diverging while.
+    let p = parse("while R do R <- COPY(R) end").unwrap();
+    assert!(run(&p, &db, &tight).is_err());
+
+    // Exponential set-new beyond the row budget.
+    let big = Database::from_tables([Table::relational(
+        "R",
+        &["A"],
+        &[&["1"], &["2"], &["3"], &["4"], &["5"], &["6"], &["7"]],
+    )]);
+    let p = parse("T <- SETNEW[Tag](R)").unwrap();
+    assert!(run(&p, &big, &tight).is_err());
+
+    // Doubling widths through repeated self-products exceed max_cells.
+    let p = parse(
+        "T <- PRODUCT(R, R)
+         T <- PRODUCT(T, T)
+         T <- PRODUCT(T, T)
+         T <- PRODUCT(T, T)
+         T <- PRODUCT(T, T)",
+    )
+    .unwrap();
+    assert!(run(&p, &db, &tight).is_err());
+
+    // Split flooding the table budget. (The table keeps a second column:
+    // splitting a one-column table produces zero-width tables that are
+    // all identical and collapse under set semantics.)
+    let wide = Database::from_tables([Table::relational(
+        "R",
+        &["A", "B"],
+        &[
+            &["1", "x"],
+            &["2", "x"],
+            &["3", "x"],
+            &["4", "x"],
+            &["5", "x"],
+            &["6", "x"],
+            &["7", "x"],
+            &["8", "x"],
+            &["9", "x"],
+        ],
+    )]);
+    let p = parse("T <- SPLIT[on {A}](R)").unwrap();
+    assert!(run(&p, &wide, &tight).is_err());
+}
+
+/// Errors surface as typed values with useful messages end to end.
+#[test]
+fn error_messages_are_actionable() {
+    use tables_paradigm::algebra::parser::parse;
+    let db = fixtures::sales_info1();
+    // A non-singleton parameter.
+    let p = parse("T <- RENAME[{Part, Region} -> X](Sales)").unwrap();
+    let err = run(&p, &db, &EvalLimits::default()).unwrap_err();
+    assert!(err.to_string().contains("exactly one symbol"), "{err}");
+
+    // Arity mismatch reported with the operation name.
+    let bad = Program::new().assign(
+        Param::name("T"),
+        OpKind::Union,
+        vec![Param::name("Sales")],
+    );
+    let err = run(&bad, &db, &EvalLimits::default()).unwrap_err();
+    assert!(err.to_string().contains("UNION"), "{err}");
+}
