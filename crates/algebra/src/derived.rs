@@ -99,46 +99,61 @@ impl Emitter {
     ///
     /// Note: the statement targeting `sym` transiently *replaces* any
     /// table named `sym`; copy user tables aside first.
+    ///
+    /// The construction is guarded: when `one_row` is empty (its source
+    /// relation had no rows, so there is no occurrence to switch on), the
+    /// whole chain is skipped and the returned name stays absent, which
+    /// downstream operations read as the empty relation. Without the
+    /// guard, SWITCH on the empty scratch table is a singleton-entry
+    /// error, not an empty result.
     pub fn constant(&mut self, sym: Symbol, attr: Symbol, one_row: Symbol) -> Symbol {
-        let tmp_attr = self.fresh();
-        self.assign(
-            sym,
-            OpKind::TupleNew {
-                attr: Param::sym(tmp_attr),
-            },
-            &[one_row],
-        );
-        let y = self.fresh();
-        self.assign(
-            y,
-            OpKind::Switch {
-                entry: Param::pair(Param::null(), Param::sym(tmp_attr)),
-            },
-            &[sym],
-        );
-        let z = self.fresh();
-        self.assign(
-            z,
-            OpKind::Rename {
-                from: Param::null(),
-                to: Param::sym(attr),
-            },
-            &[y],
-        );
-        let z2 = self.fresh();
-        self.assign(z2, OpKind::Transpose, &[z]);
-        let z3 = self.fresh();
-        self.assign(
-            z3,
-            OpKind::Rename {
-                from: Param::sym(tmp_attr),
-                to: Param::null(),
-            },
-            &[z2],
-        );
-        let c = self.fresh();
-        self.assign(c, OpKind::Transpose, &[z3]);
-        c
+        let guard = self.fresh();
+        self.assign(guard, OpKind::Copy, &[one_row]);
+        let mut result = None;
+        self.while_nonempty(guard, |e| {
+            let tmp_attr = e.fresh();
+            e.assign(
+                sym,
+                OpKind::TupleNew {
+                    attr: Param::sym(tmp_attr),
+                },
+                &[one_row],
+            );
+            let y = e.fresh();
+            e.assign(
+                y,
+                OpKind::Switch {
+                    entry: Param::pair(Param::null(), Param::sym(tmp_attr)),
+                },
+                &[sym],
+            );
+            let z = e.fresh();
+            e.assign(
+                z,
+                OpKind::Rename {
+                    from: Param::null(),
+                    to: Param::sym(attr),
+                },
+                &[y],
+            );
+            let z2 = e.fresh();
+            e.assign(z2, OpKind::Transpose, &[z]);
+            let z3 = e.fresh();
+            e.assign(
+                z3,
+                OpKind::Rename {
+                    from: Param::sym(tmp_attr),
+                    to: Param::null(),
+                },
+                &[z2],
+            );
+            let c = e.fresh();
+            e.assign(c, OpKind::Transpose, &[z3]);
+            // Exit the run-once guard loop.
+            e.assign(guard, OpKind::Difference, &[guard, guard]);
+            result = Some(c);
+        });
+        result.expect("guard body always emits the constant chain")
     }
 
     /// Fold a table into an accumulator with classical union.
@@ -182,11 +197,7 @@ mod tests {
         let mut e = Emitter::new();
         let src = Symbol::name("R");
         let one = e.one_row(src);
-        let db = Database::from_tables([Table::relational(
-            "R",
-            &["A"],
-            &[&["1"], &["2"], &["3"]],
-        )]);
+        let db = Database::from_tables([Table::relational("R", &["A"], &[&["1"], &["2"], &["3"]])]);
         let out = run(&e.into_program(), &db, &EvalLimits::default()).unwrap();
         let t = out.table(one).unwrap();
         assert_eq!(t.height(), 1);
@@ -220,8 +231,11 @@ mod tests {
         let out = run(&e.into_program(), &db, &EvalLimits::default()).unwrap();
         // R is gone (replaced transiently, then left behind by the switch
         // statement's rename of the result).
-        assert!(out.table_str("R").is_none() || out.table_str("R").unwrap().width() != 1
-            || out.table_str("R").unwrap().col_attr(1) != Symbol::name("A"));
+        assert!(
+            out.table_str("R").is_none()
+                || out.table_str("R").unwrap().width() != 1
+                || out.table_str("R").unwrap().col_attr(1) != Symbol::name("A")
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl std::fmt::Display for AlgebraError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AlgebraError::NotSingleton { context, got } => {
-                write!(f, "parameter for {context} must denote exactly one symbol, got {got}")
+                write!(
+                    f,
+                    "parameter for {context} must denote exactly one symbol, got {got}"
+                )
             }
             AlgebraError::UnboundWildcard(k) => write!(f, "wildcard *{k} is unbound"),
             AlgebraError::BadTarget => write!(f, "assignment target must denote a name"),

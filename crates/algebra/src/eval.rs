@@ -17,11 +17,30 @@
 
 use crate::error::{AlgebraError, Result};
 use crate::ops;
+use crate::param::{denote_set, denote_single, denote_target, match_name, Bindings};
+use crate::pool::LazyPool;
+use crate::program::{Assignment, OpKind, Program, Statement};
 use std::collections::BTreeMap;
 use std::time::Instant;
-use crate::param::{denote_set, denote_single, denote_target, match_name, Bindings};
-use crate::program::{Assignment, OpKind, Program, Statement};
 use tabular_core::{Database, Symbol, SymbolSet, Table};
+
+/// How `while` loops are evaluated (DESIGN.md, "Delta-driven `while`
+/// evaluation").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WhileStrategy {
+    /// Re-run every body statement on every iteration — the paper's
+    /// operational reading, taken literally.
+    Naive,
+    /// Track which table names changed between iterations and skip body
+    /// statements whose inputs (and own output) are untouched since their
+    /// last execution; recompute append-grown products, selections, and
+    /// projections incrementally. Falls back to [`WhileStrategy::Naive`]
+    /// per loop when the body is not provably delta-safe (see
+    /// `optimize::body_is_delta_safe`). Results are identical to naive
+    /// evaluation: skipping is exact, not merely fixpoint-safe.
+    #[default]
+    Delta,
+}
 
 /// Resource bounds for program evaluation.
 #[derive(Clone, Copy, Debug)]
@@ -41,6 +60,8 @@ pub struct EvalLimits {
     /// of fresh tag values — determinacy up to isomorphism, as in §4.1
     /// condition (iv).
     pub parallel_threshold: usize,
+    /// `while` loop evaluation strategy.
+    pub while_strategy: WhileStrategy,
 }
 
 impl Default for EvalLimits {
@@ -51,6 +72,7 @@ impl Default for EvalLimits {
             max_tables: 100_000,
             max_cells: 1 << 28,
             parallel_threshold: 64,
+            while_strategy: WhileStrategy::default(),
         }
     }
 }
@@ -71,6 +93,17 @@ pub struct EvalStats {
     pub tables_produced: usize,
     /// Largest table produced, in cells.
     pub max_table_cells: usize,
+    /// Body statements skipped by the delta `while` strategy because
+    /// neither their inputs nor their own output changed since their last
+    /// execution.
+    pub while_delta_skipped: usize,
+    /// `while` loop executions that requested the delta strategy but fell
+    /// back to naive re-evaluation (body not provably delta-safe).
+    pub while_fallback_naive: usize,
+    /// Per-iteration dirty-set sizes (number of names whose contents
+    /// changed during the iteration) across all delta-evaluated loops, in
+    /// execution order.
+    pub delta_dirty_sizes: Vec<usize>,
 }
 
 impl EvalStats {
@@ -102,7 +135,14 @@ pub fn run_with_stats(
 ) -> Result<(Database, EvalStats)> {
     let mut state = db.clone();
     let mut stats = EvalStats::default();
-    run_statements(&program.statements, &mut state, limits, &mut stats)?;
+    let mut pool = LazyPool::new();
+    run_statements(
+        &program.statements,
+        &mut state,
+        limits,
+        &mut stats,
+        &mut pool,
+    )?;
     Ok((state, stats))
 }
 
@@ -122,17 +162,18 @@ pub fn run_outputs(
     Ok(out)
 }
 
-fn run_statements(
+pub(crate) fn run_statements(
     stmts: &[Statement],
     db: &mut Database,
     limits: &EvalLimits,
     stats: &mut EvalStats,
+    pool: &mut LazyPool,
 ) -> Result<()> {
     for stmt in stmts {
         match stmt {
             Statement::Assign(a) => {
                 let start = Instant::now();
-                run_assignment(a, db, limits, stats)?;
+                run_assignment(a, db, limits, stats, pool)?;
                 let kw = a.op.keyword();
                 *stats.op_counts.entry(kw).or_default() += 1;
                 *stats.op_micros.entry(kw).or_default() += start.elapsed().as_micros();
@@ -140,12 +181,16 @@ fn run_statements(
             Statement::While { cond, body } => {
                 let name = denote_target(cond, &Bindings::new())
                     .map_err(|_| AlgebraError::BadWhileCondition)?;
+                let delta = limits.while_strategy == WhileStrategy::Delta;
+                if delta && crate::optimize::body_is_delta_safe(body) {
+                    crate::delta::run_delta_while(name, body, db, limits, stats, pool)?;
+                    continue;
+                }
+                if delta {
+                    stats.while_fallback_naive += 1;
+                }
                 let mut iters = 0usize;
-                while db
-                    .tables_named(name)
-                    .iter()
-                    .any(|t| t.height() > 0)
-                {
+                while db.tables_named(name).iter().any(|t| t.height() > 0) {
                     iters += 1;
                     stats.while_iterations += 1;
                     if iters > limits.max_while_iters {
@@ -155,7 +200,7 @@ fn run_statements(
                             attempted: iters,
                         });
                     }
-                    run_statements(body, db, limits, stats)?;
+                    run_statements(body, db, limits, stats, pool)?;
                 }
             }
         }
@@ -168,7 +213,22 @@ fn run_assignment(
     db: &mut Database,
     limits: &EvalLimits,
     stats: &mut EvalStats,
+    pool: &mut LazyPool,
 ) -> Result<()> {
+    let results = compute_results(a, db, limits, pool)?;
+    check_results(&results, limits, stats)?;
+    replace_results(results, db);
+    check_table_count(db, limits)
+}
+
+/// Evaluate an assignment against the (pre-statement) database, returning
+/// the produced tables without committing them.
+pub(crate) fn compute_results(
+    a: &Assignment,
+    db: &Database,
+    limits: &EvalLimits,
+    pool: &mut LazyPool,
+) -> Result<Vec<Table>> {
     let arity = a.op.arity();
     if a.args.len() != arity {
         return Err(AlgebraError::Arity {
@@ -212,34 +272,33 @@ fn run_assignment(
             }
             if work.len() >= limits.parallel_threshold.max(2) {
                 // Purely functional per-table applications: shard across
-                // scoped threads, then splice results back in input order.
-                let shards = std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-                    .min(work.len());
+                // the run's persistent worker pool, then splice results
+                // back in input order.
+                let shards = pool.get().threads().min(work.len());
                 let chunk = work.len().div_ceil(shards);
-                let outputs: Vec<Result<Vec<Table>>> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = work
-                        .chunks(chunk)
-                        .map(|slice| {
-                            scope.spawn(move || {
-                                let mut local = Vec::new();
-                                for (t, bindings, target) in slice {
-                                    apply_unary(
-                                        &a.op, t, *target, bindings, limits, &mut local,
-                                    )?;
-                                }
-                                Ok(local)
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("evaluation threads do not panic"))
-                        .collect()
-                });
-                for out in outputs {
-                    results.extend(out?);
+                let chunks: Vec<&[(&Table, Bindings, Symbol)]> = work.chunks(chunk).collect();
+                let mut slots: Vec<Option<Result<Vec<Table>>>> = vec![None; chunks.len()];
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                    .iter()
+                    .zip(slots.iter_mut())
+                    .map(|(slice, slot)| {
+                        let slice = *slice;
+                        let op = &a.op;
+                        Box::new(move || {
+                            let mut local = Vec::new();
+                            let out = slice
+                                .iter()
+                                .try_for_each(|(t, bindings, target)| {
+                                    apply_unary(op, t, *target, bindings, limits, &mut local)
+                                })
+                                .map(|()| local);
+                            *slot = Some(out);
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.get().scoped(jobs);
+                for slot in slots {
+                    results.extend(slot.expect("every shard reports a result")?);
                 }
             } else {
                 for (t, bindings, target) in &work {
@@ -271,8 +330,18 @@ fn run_assignment(
         }
     }
 
+    Ok(results)
+}
+
+/// Record shape statistics for produced tables and enforce the per-table
+/// cell limit.
+pub(crate) fn check_results(
+    results: &[Table],
+    limits: &EvalLimits,
+    stats: &mut EvalStats,
+) -> Result<()> {
     stats.tables_produced += results.len();
-    for t in &results {
+    for t in results {
         let cells = (t.height() + 1) * (t.width() + 1);
         stats.max_table_cells = stats.max_table_cells.max(cells);
         if cells > limits.max_cells {
@@ -283,14 +352,21 @@ fn run_assignment(
             });
         }
     }
+    Ok(())
+}
 
-    // Replace: drop existing tables carrying any produced name, then
-    // insert the results (set semantics collapses exact duplicates).
+/// Replace: drop existing tables carrying any produced name, then insert
+/// the results (set semantics collapses exact duplicates).
+pub(crate) fn replace_results(results: Vec<Table>, db: &mut Database) {
     let produced: SymbolSet = results.iter().map(|t| t.name()).collect();
     db.retain(|t| !produced.contains(t.name()));
     for t in results {
         db.insert(t);
     }
+}
+
+/// Enforce the database-size limit after a replacement.
+pub(crate) fn check_table_count(db: &Database, limits: &EvalLimits) -> Result<()> {
     if db.len() > limits.max_tables {
         return Err(AlgebraError::LimitExceeded {
             what: "tables in database",
@@ -445,11 +521,7 @@ mod tests {
     #[test]
     fn wildcard_statement_runs_over_every_table() {
         // *₁ ← TRANSPOSE(*₁): transpose every table in place.
-        let p = Program::new().assign(
-            Param::star_k(1),
-            OpKind::Transpose,
-            vec![Param::star_k(1)],
-        );
+        let p = Program::new().assign(Param::star_k(1), OpKind::Transpose, vec![Param::star_k(1)]);
         let db = fixtures::sales_info1_full();
         let out = run(&p, &db, &limits()).unwrap();
         assert_eq!(out.len(), db.len());
@@ -547,8 +619,16 @@ mod tests {
     fn run_outputs_projects_named_results() {
         let db = fixtures::sales_info1();
         let p = Program::new()
-            .assign(Param::name("Scratch"), OpKind::Copy, vec![Param::name("Sales")])
-            .assign(Param::name("Out"), OpKind::Copy, vec![Param::name("Scratch")]);
+            .assign(
+                Param::name("Scratch"),
+                OpKind::Copy,
+                vec![Param::name("Sales")],
+            )
+            .assign(
+                Param::name("Out"),
+                OpKind::Copy,
+                vec![Param::name("Scratch")],
+            );
         let out = run_outputs(&p, &db, &[nm("Out")], &limits()).unwrap();
         assert_eq!(out.len(), 1);
         assert!(out.table_str("Out").is_some());

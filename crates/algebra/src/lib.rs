@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+mod delta;
 pub mod derived;
 pub mod error;
 pub mod eval;
@@ -45,12 +46,13 @@ pub mod ops;
 pub mod optimize;
 pub mod param;
 pub mod parser;
+pub mod pool;
 pub mod pretty;
 pub mod program;
 
 pub use error::AlgebraError;
+pub use eval::{run, run_outputs, run_with_stats, EvalLimits, EvalStats, WhileStrategy};
 pub use federation::Federation;
 pub use optimize::optimize;
-pub use eval::{run, run_outputs, run_with_stats, EvalLimits, EvalStats};
 pub use param::Param;
 pub use program::{Assignment, OpKind, Program, Statement};

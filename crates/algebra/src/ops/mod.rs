@@ -21,11 +21,14 @@ pub mod tagging;
 pub mod traditional;
 pub mod transpose;
 
-pub use dual::{col_group, col_merge, col_project, col_select, col_select_const, col_split, dualize};
+pub use dual::{
+    col_group, col_merge, col_project, col_select, col_select_const, col_split, dualize,
+};
 pub use redundancy::{classical_union, cleanup, purge};
 pub use restructure::{collapse, group, merge, split};
 pub use tagging::{set_new, tuple_new};
 pub use traditional::{
-    copy, difference, intersect, product, project, rename, select, select_const, union,
+    copy, difference, intersect, product, product_append, project, rename, select, select_const,
+    union,
 };
 pub use transpose::{switch, transpose};

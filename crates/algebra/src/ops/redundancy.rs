@@ -30,7 +30,7 @@ pub fn cleanup(r: &Table, by: &SymbolSet, on: &SymbolSet, name: Symbol) -> Table
         first_row: usize,
         rows: Vec<usize>,
     }
-    let mut keys: Vec<Vec<Symbol>> = Vec::new();
+    let mut keys: std::collections::HashMap<Vec<Symbol>, usize> = std::collections::HashMap::new();
     let mut groups: Vec<Group> = Vec::new();
     let mut group_of_row: Vec<Option<usize>> = vec![None; r.height() + 1];
 
@@ -41,18 +41,18 @@ pub fn cleanup(r: &Table, by: &SymbolSet, on: &SymbolSet, name: Symbol) -> Table
         let mut key = Vec::with_capacity(by_cols.len() + 1);
         key.push(r.get(i, 0));
         key.extend(by_cols.iter().map(|&j| r.get(i, j)));
-        let g = match keys.iter().position(|k| *k == key) {
-            Some(g) => {
+        let g = match keys.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let g = *e.get();
                 groups[g].rows.push(i);
                 g
             }
-            None => {
-                keys.push(key);
+            std::collections::hash_map::Entry::Vacant(e) => {
                 groups.push(Group {
                     first_row: i,
                     rows: vec![i],
                 });
-                groups.len() - 1
+                *e.insert(groups.len() - 1)
             }
         };
         group_of_row[i] = Some(g);
@@ -168,12 +168,7 @@ mod tests {
     #[test]
     fn cleanup_retains_groups_without_common_subsumer() {
         // Two rows agree on A but conflict on B: no join, keep both.
-        let t = Table::from_grid(&[
-            &["R", "A", "B"],
-            &["_", "1", "2"],
-            &["_", "1", "3"],
-        ])
-        .unwrap();
+        let t = Table::from_grid(&[&["R", "A", "B"], &["_", "1", "2"], &["_", "1", "3"]]).unwrap();
         let c = cleanup(&t, &set(&["A"]), &null_set(), nm("R"));
         assert_eq!(c.height(), 2);
     }
@@ -188,11 +183,10 @@ mod tests {
         .unwrap();
         let c = cleanup(&t, &set(&["A"]), &null_set(), nm("R"));
         assert_eq!(c.height(), 1);
-        assert_eq!(c.data_row(1), &[
-            Symbol::value("1"),
-            Symbol::value("2"),
-            Symbol::value("3")
-        ]);
+        assert_eq!(
+            c.data_row(1),
+            &[Symbol::value("1"), Symbol::value("2"), Symbol::value("3")]
+        );
     }
 
     #[test]
@@ -206,12 +200,7 @@ mod tests {
 
     #[test]
     fn cleanup_never_merges_across_row_attributes() {
-        let t = Table::from_grid(&[
-            &["R", "A", "B"],
-            &["x", "1", "2"],
-            &["y", "1", "_"],
-        ])
-        .unwrap();
+        let t = Table::from_grid(&[&["R", "A", "B"], &["x", "1", "2"], &["y", "1", "_"]]).unwrap();
         let c = cleanup(
             &t,
             &set(&["A"]),

@@ -35,7 +35,11 @@ pub fn group(r: &Table, by: &SymbolSet, on: &SymbolSet, name: Symbol) -> Table {
     }
     for block in 0..m {
         for (k, &j) in b_cols.iter().enumerate() {
-            t.set(0, c_cols.len() + block * b_cols.len() + k + 1, r.col_attr(j));
+            t.set(
+                0,
+                c_cols.len() + block * b_cols.len() + k + 1,
+                r.col_attr(j),
+            );
         }
     }
     // One header row per grouping attribute, leftmost occurrence first.
@@ -127,7 +131,12 @@ pub fn merge(r: &Table, on: &SymbolSet, by: &SymbolSet, name: Symbol) -> Table {
             // Columns of this block, bucketed per attribute.
             let per_attr: Vec<Vec<usize>> = b_attrs
                 .iter()
-                .map(|&b| cols.iter().copied().filter(|&j| r.col_attr(j) == b).collect())
+                .map(|&b| {
+                    cols.iter()
+                        .copied()
+                        .filter(|&j| r.col_attr(j) == b)
+                        .collect()
+                })
                 .collect();
             let reps = per_attr.iter().map(Vec::len).max().unwrap_or(0).max(1);
             for rep in 0..reps {
@@ -284,12 +293,7 @@ mod tests {
         // Every original tuple appears.
         let rel = fixtures::sales_relation();
         for i in 1..=rel.height() {
-            let want: Vec<Symbol> = vec![
-                Symbol::Null,
-                rel.get(i, 1),
-                rel.get(i, 2),
-                rel.get(i, 3),
-            ];
+            let want: Vec<Symbol> = vec![Symbol::Null, rel.get(i, 1), rel.get(i, 2), rel.get(i, 3)];
             assert!(
                 (1..=out.height()).any(|k| out.storage_row(k) == want.as_slice()),
                 "missing tuple {want:?}"
@@ -301,16 +305,15 @@ mod tests {
     fn split_reproduces_sales_info4() {
         let outs = split(&fixtures::sales_relation(), &set(&["Region"]), nm("Sales"));
         let got = tabular_core::Database::from_tables(outs);
-        assert!(got.equiv(&fixtures::sales_info4()), "split mismatch:\n{got}");
+        assert!(
+            got.equiv(&fixtures::sales_info4()),
+            "split mismatch:\n{got}"
+        );
     }
 
     #[test]
     fn split_groups_duplicate_combinations() {
-        let t = Table::relational(
-            "R",
-            &["A", "B"],
-            &[&["x", "1"], &["y", "2"], &["x", "3"]],
-        );
+        let t = Table::relational("R", &["A", "B"], &[&["x", "1"], &["y", "2"], &["x", "3"]]);
         let outs = split(&t, &set(&["A"]), nm("R"));
         assert_eq!(outs.len(), 2);
         let x_table = outs

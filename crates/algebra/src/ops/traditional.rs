@@ -47,12 +47,36 @@ pub fn union(r: &Table, s: &Table, name: Symbol) -> Table {
 /// `σ`, where `ρᵢ` matches `σₖ` iff the row attributes are equal and the
 /// rows mutually subsume each other (`ρᵢ ≋ σₖ`). On relational tables this
 /// is exactly classical difference; on general tables it is always defined.
+///
+/// When the operands have identical column-attribute sequences with
+/// pairwise-distinct attributes, the per-attribute entry sets are
+/// singletons and mutual subsumption degenerates to plain storage-row
+/// equality (⊥ included: `{⊥} ≗ {v}` fails in one direction exactly when
+/// `⊥ ≠ v`), so matching runs through a hash set in `O(|ρ| + |σ|)` instead
+/// of the pairwise `O(|ρ|·|σ|)` subsumption scan. This is the shape every
+/// compiled relational program produces, and the hot path of `while`
+/// fixpoints such as transitive closure.
 pub fn difference(r: &Table, s: &Table, name: Symbol) -> Table {
-    let mut t = r.retain_rows(|i| {
-        !(1..=s.height()).any(|k| r.get(i, 0) == s.get(k, 0) && r.rows_subsume_each_other(i, s, k))
-    });
+    let mut t = if aligned_distinct_schemes(r, s) {
+        let matched: std::collections::HashSet<&[Symbol]> =
+            (1..=s.height()).map(|k| s.storage_row(k)).collect();
+        r.retain_rows(|i| !matched.contains(r.storage_row(i)))
+    } else {
+        r.retain_rows(|i| {
+            !(1..=s.height())
+                .any(|k| r.get(i, 0) == s.get(k, 0) && r.rows_subsume_each_other(i, s, k))
+        })
+    };
     t.set_name(name);
     t
+}
+
+/// True when both tables carry the same column-attribute sequence and the
+/// attributes are pairwise distinct — the precondition for reducing row
+/// matching (mutual subsumption + row-attribute equality) to storage-row
+/// equality.
+fn aligned_distinct_schemes(r: &Table, s: &Table) -> bool {
+    r.width() == s.width() && r.col_attrs() == s.col_attrs() && r.scheme().len() == r.width()
 }
 
 /// Intersection, defined from difference in the usual way:
@@ -78,20 +102,28 @@ pub fn product(r: &Table, s: &Table, name: Symbol) -> Table {
     for j in 1..=s.width() {
         t.set(0, r.width() + j, s.col_attr(j));
     }
-    for i in 1..=r.height() {
+    product_append(&mut t, r, 1, s);
+    t
+}
+
+/// Append to `acc` the product rows `ρᵢ × σₖ` for every `i ≥ from_row` (in
+/// the same left-major order [`product`] uses). This is the incremental
+/// step of the delta `while` strategy: when `ρ` has only grown by appended
+/// rows since the product was last computed and `σ` is unchanged, the new
+/// product is the cached output plus exactly these rows.
+pub fn product_append(acc: &mut Table, r: &Table, from_row: usize, s: &Table) {
+    let width = r.width() + s.width();
+    debug_assert_eq!(acc.width(), width, "product_append width mismatch");
+    for i in from_row..=r.height() {
         for k in 1..=s.height() {
-            let attr = r
-                .get(i, 0)
-                .join(s.get(k, 0))
-                .unwrap_or_else(|| r.get(i, 0));
+            let attr = r.get(i, 0).join(s.get(k, 0)).unwrap_or_else(|| r.get(i, 0));
             let mut row = Vec::with_capacity(width + 1);
             row.push(attr);
             row.extend_from_slice(r.data_row(i));
             row.extend_from_slice(s.data_row(k));
-            t.push_row(row);
+            acc.push_row(row);
         }
     }
-    t
 }
 
 /// Renaming `T ← RENAME_{B←A}(R)`: every column attribute equal to `a`
@@ -264,19 +296,12 @@ mod tests {
     fn rename_renames_all_occurrences() {
         let dup = Table::from_grid(&[&["R", "A", "A", "B"], &["_", "1", "2", "3"]]).unwrap();
         let t = rename(&dup, nm("A"), nm("C"), nm("T"));
-        assert_eq!(
-            t.col_attrs(),
-            &[nm("C"), nm("C"), nm("B")]
-        );
+        assert_eq!(t.col_attrs(), &[nm("C"), nm("C"), nm("B")]);
     }
 
     #[test]
     fn project_keeps_selected_columns_in_order() {
-        let t = project(
-            &r(),
-            &SymbolSet::from_iter([nm("B")]),
-            nm("T"),
-        );
+        let t = project(&r(), &SymbolSet::from_iter([nm("B")]), nm("T"));
         assert_eq!(t.width(), 1);
         assert_eq!(t.col_attrs(), &[nm("B")]);
         assert_eq!(t.get(1, 1), Symbol::value("2"));
@@ -313,13 +338,7 @@ mod tests {
 
     #[test]
     fn select_const_exact_membership() {
-        let tab = Table::from_grid(&[
-            &["R", "A"],
-            &["_", "1"],
-            &["_", "2"],
-            &["_", "_"],
-        ])
-        .unwrap();
+        let tab = Table::from_grid(&[&["R", "A"], &["_", "1"], &["_", "2"], &["_", "_"]]).unwrap();
         let t = select_const(&tab, nm("A"), Symbol::value("1"), nm("T"));
         assert_eq!(t.height(), 1);
         // Selecting ⊥ finds the all-null row.

@@ -63,12 +63,7 @@ mod tests {
 
     #[test]
     fn switch_on_unique_occurrence_swaps_row_and_column() {
-        let t = Table::from_grid(&[
-            &["T", "A", "B"],
-            &["r", "x", "y"],
-            &["s", "z", "w"],
-        ])
-        .unwrap();
+        let t = Table::from_grid(&[&["T", "A", "B"], &["r", "x", "y"], &["s", "z", "w"]]).unwrap();
         let sw = switch(&t, Symbol::value("w"), nm("U"));
         // w sat at (2,2): it becomes the table name position's occupant
         // after the double swap... the name parameter overwrites (0,0), so
@@ -78,18 +73,13 @@ mod tests {
         assert_eq!(sw.get(2, 0), nm("B")); // old (0,2)
         assert_eq!(sw.get(0, 2), nm("s")); // old (2,0)
         assert_eq!(sw.get(2, 2), nm("T")); // old (0,0)
-        // Untouched quadrant cell.
+                                           // Untouched quadrant cell.
         assert_eq!(sw.get(1, 1), Symbol::value("x"));
     }
 
     #[test]
     fn switch_without_unique_occurrence_only_renames() {
-        let t = Table::from_grid(&[
-            &["T", "A"],
-            &["_", "x"],
-            &["_", "x"],
-        ])
-        .unwrap();
+        let t = Table::from_grid(&[&["T", "A"], &["_", "x"], &["_", "x"]]).unwrap();
         let sw = switch(&t, Symbol::value("x"), nm("U"));
         let mut expected = t.clone();
         expected.set_name(nm("U"));
@@ -117,11 +107,7 @@ mod tests {
 
     #[test]
     fn switch_preserves_cells_up_to_the_name_overwrite() {
-        let t = Table::from_grid(&[
-            &["T", "A", "B"],
-            &["r", "x", "y"],
-        ])
-        .unwrap();
+        let t = Table::from_grid(&[&["T", "A", "B"], &["r", "x", "y"]]).unwrap();
         let sw = switch(&t, Symbol::value("y"), nm("T"));
         // The switched value lands at (0,0) and is overwritten by the new
         // name; every other symbol of the table is preserved.

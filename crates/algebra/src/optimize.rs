@@ -70,6 +70,41 @@ fn drop_dead(stmts: &mut Vec<Statement>, live: &SymbolSet) -> bool {
     changed
 }
 
+/// True when a `while` body is eligible for delta-driven evaluation
+/// (see [`crate::eval::WhileStrategy`]).
+///
+/// The delta engine skips a statement when none of its inputs changed
+/// since its last execution, which is sound exactly when re-execution
+/// would be a no-op. That requires:
+///
+/// * **ground parameters throughout** — targets, arguments, and nested
+///   conditions all denote fixed names (reuses the same [`read_set`]
+///   machinery as the optimizer), so each statement's read and write
+///   sets are known statically;
+/// * **no fresh tagging** — `TUPLENEW` / `SETNEW` invent new tags on
+///   every execution, so skipping a re-run changes the result (the
+///   paper's determinacy-up-to-tag-isomorphism, §3.5, does not survive
+///   accumulation across iterations);
+/// * **no nested loops** — an inner `while` is not a pure function of
+///   its read set's versions (its own iteration count varies), so only
+///   straight-line bodies qualify.
+///
+/// Everything else in the algebra is a pure, deterministic function of
+/// its arguments, so this is broader than a monotone-operations
+/// whitelist: even non-monotone bodies (difference, transpose, switch)
+/// are delta-safe, because skipping is keyed on *versions*, not on
+/// growth.
+pub fn body_is_delta_safe(body: &[Statement]) -> bool {
+    let mut reads = SymbolSet::new();
+    if read_set(body, &mut reads).is_none() {
+        return false;
+    }
+    body.iter().all(|s| match s {
+        Statement::While { .. } => false,
+        Statement::Assign(a) => !matches!(a.op, OpKind::TupleNew { .. } | OpKind::SetNew { .. }),
+    })
+}
+
 /// Eliminate dead scratch assignments, to a fixpoint.
 pub fn eliminate_dead(program: &Program) -> Program {
     let mut out = program.clone();
@@ -103,11 +138,7 @@ fn fuse_in(stmts: &mut Vec<Statement>) {
         stmts
             .iter()
             .map(|s| match s {
-                Statement::Assign(a) => a
-                    .args
-                    .iter()
-                    .filter(|p| p.as_ground() == Some(of))
-                    .count(),
+                Statement::Assign(a) => a.args.iter().filter(|p| p.as_ground() == Some(of)).count(),
                 Statement::While { cond, body } => {
                     usize::from(cond.as_ground() == Some(of)) + count_reads(body, of)
                 }
@@ -129,9 +160,7 @@ fn fuse_in(stmts: &mut Vec<Statement>) {
                     };
                     match (produced, copied) {
                         (Some(s), Some(src))
-                            if s == src
-                                && is_scratch(s)
-                                && count_reads(stmts, s) == 1 =>
+                            if s == src && is_scratch(s) && count_reads(stmts, s) == 1 =>
                         {
                             Some(c.target.clone())
                         }
@@ -183,11 +212,7 @@ mod tests {
                 OpKind::Copy,
                 vec![Param::name("Sales")],
             )
-            .assign(
-                Param::name("Out"),
-                OpKind::Copy,
-                vec![Param::name("Sales")],
-            );
+            .assign(Param::name("Out"), OpKind::Copy, vec![Param::name("Sales")]);
         let opt = eliminate_dead(&p);
         assert_eq!(opt.len(), 1);
     }
@@ -196,8 +221,16 @@ mod tests {
     fn dead_chains_are_removed_to_a_fixpoint() {
         // s1 feeds s2 feeds nothing: both must go.
         let p = Program::new()
-            .assign(Param::sym(scratch(1)), OpKind::Copy, vec![Param::name("Sales")])
-            .assign(Param::sym(scratch(2)), OpKind::Copy, vec![Param::sym(scratch(1))])
+            .assign(
+                Param::sym(scratch(1)),
+                OpKind::Copy,
+                vec![Param::name("Sales")],
+            )
+            .assign(
+                Param::sym(scratch(2)),
+                OpKind::Copy,
+                vec![Param::sym(scratch(1))],
+            )
             .assign(Param::name("Out"), OpKind::Copy, vec![Param::name("Sales")]);
         assert_eq!(eliminate_dead(&p).len(), 1);
     }
@@ -220,7 +253,11 @@ mod tests {
                 OpKind::Transpose,
                 vec![Param::name("Sales")],
             )
-            .assign(Param::name("Out"), OpKind::Copy, vec![Param::sym(scratch(1))]);
+            .assign(
+                Param::name("Out"),
+                OpKind::Copy,
+                vec![Param::sym(scratch(1))],
+            );
         let opt = optimize(&p);
         assert_eq!(opt.len(), 1);
         let Statement::Assign(a) = &opt.statements[0] else {

@@ -284,9 +284,7 @@ pub fn denote_target(param: &Param, bindings: &Bindings) -> Result<Symbol> {
         match &param.positive[0] {
             Item::Sym(s) => return Ok(*s),
             Item::Star(k) => {
-                return bindings
-                    .get(*k)
-                    .ok_or(AlgebraError::UnboundWildcard(*k));
+                return bindings.get(*k).ok_or(AlgebraError::UnboundWildcard(*k));
             }
             _ => {}
         }

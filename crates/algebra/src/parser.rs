@@ -407,9 +407,7 @@ impl Parser {
                 match self.next() {
                     Some(Tok::Comma) => continue,
                     Some(Tok::RParen) => break,
-                    other => {
-                        return Err(self.err(format!("expected `,` or `)`, found {other:?}")))
-                    }
+                    other => return Err(self.err(format!("expected `,` or `)`, found {other:?}"))),
                 }
             }
         } else {
@@ -467,9 +465,7 @@ impl Parser {
 
     fn parse_item(&mut self) -> Result<Item> {
         match self.next() {
-            Some(Tok::Ident(w)) | Some(Tok::NameTagged(w)) => {
-                Ok(Item::Sym(Symbol::name(&w)))
-            }
+            Some(Tok::Ident(w)) | Some(Tok::NameTagged(w)) => Ok(Item::Sym(Symbol::name(&w))),
             Some(Tok::Value(w)) => Ok(Item::Sym(Symbol::value(&w))),
             Some(Tok::Null) => Ok(Item::Null),
             Some(Tok::Star(k)) => Ok(Item::Star(k)),
@@ -512,7 +508,10 @@ mod tests {
         let p = parse("Sales <- GROUP[by {Region} on {Sold}](Sales)").unwrap();
         assert_eq!(p.statements.len(), 1);
         let out = run(&p, &fixtures::sales_info1(), &EvalLimits::default()).unwrap();
-        assert_eq!(out.table_str("Sales").unwrap(), &fixtures::figure4_grouped());
+        assert_eq!(
+            out.table_str("Sales").unwrap(),
+            &fixtures::figure4_grouped()
+        );
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! A persistent worker pool for sharded statement evaluation.
+//!
+//! The interpreter fans a statement's per-table applications out across
+//! threads once enough tables match (see `EvalLimits::parallel_threshold`).
+//! Spawning OS threads per statement — the obvious `std::thread::scope`
+//! approach — costs more than the work it parallelizes on the small tables
+//! typical of `while` loop bodies, so the pool is built at most once per
+//! `run` and reused by every statement of that run, including every
+//! iteration of every loop.
+//!
+//! Jobs borrow from the caller's stack (the database being evaluated), so
+//! [`ShardPool::scoped`] provides a scoped interface over long-lived
+//! workers: it erases the job lifetime to hand the closure to a worker
+//! thread, then blocks until every submitted job has signalled completion,
+//! which restores the borrow discipline of `std::thread::scope`. Panics in
+//! jobs are caught on the worker, carried back, and resumed on the caller.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing submitted closures.
+pub struct ShardPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawn `threads` workers (at least one).
+    pub fn new(threads: usize) -> ShardPool {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::spawn(move || worker_loop(&receiver))
+            })
+            .collect();
+        ShardPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run every job on the pool and wait for all of them to finish.
+    ///
+    /// Jobs may borrow from the caller (lifetime `'s`): the call does not
+    /// return until each job has reported completion, so no borrow
+    /// escapes. If any job panicked, the panic is resumed here after all
+    /// jobs have finished.
+    pub fn scoped<'s>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 's>>) {
+        let n = jobs.len();
+        if n == 0 {
+            return;
+        }
+        let (done, finished) = channel::<std::thread::Result<()>>();
+        for job in jobs {
+            let done = done.clone();
+            let wrapped: Box<dyn FnOnce() + Send + 's> = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                // The receiver outlives every job (we block below), so the
+                // send only fails if the caller itself is unwinding.
+                let _ = done.send(outcome);
+            });
+            // SAFETY: the loop below blocks until `n` completions have been
+            // received, one per submitted job, so every borrow with
+            // lifetime 's is done before `scoped` returns; the transmute
+            // only erases that lifetime for transport to the worker.
+            let wrapped: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 's>, Job>(wrapped) };
+            self.sender
+                .as_ref()
+                .expect("pool alive while scoped")
+                .send(wrapped)
+                .expect("workers alive while scoped");
+        }
+        drop(done);
+        let mut panic: Option<Box<dyn Any + Send>> = None;
+        for _ in 0..n {
+            match finished.recv().expect("every job reports completion") {
+                Ok(()) => {}
+                Err(p) => panic = Some(p),
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Closing the channel ends each worker's receive loop.
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = {
+            let guard = receiver
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => break,
+        }
+    }
+}
+
+/// A pool that is built on first use, so runs that never cross the
+/// parallelism threshold spawn no threads at all.
+#[derive(Default)]
+pub(crate) struct LazyPool {
+    pool: Option<ShardPool>,
+}
+
+impl LazyPool {
+    pub(crate) fn new() -> LazyPool {
+        LazyPool::default()
+    }
+
+    pub(crate) fn get(&mut self) -> &ShardPool {
+        self.pool.get_or_insert_with(|| {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            ShardPool::new(threads)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_runs_every_job_and_blocks_until_done() {
+        let pool = ShardPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..32)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.scoped(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn jobs_can_write_into_borrowed_slots() {
+        let pool = ShardPool::new(2);
+        let mut slots = vec![0u64; 8];
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                Box::new(move || {
+                    *slot = (i as u64 + 1) * 10;
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.scoped(jobs);
+        assert_eq!(slots, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn pool_survives_and_propagates_job_panics() {
+        let pool = ShardPool::new(2);
+        let boom: Vec<Box<dyn FnOnce() + Send + '_>> =
+            vec![Box::new(|| panic!("job failure")) as Box<dyn FnOnce() + Send + '_>];
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.scoped(boom)));
+        assert!(caught.is_err());
+        // The pool keeps working after a job panic.
+        let ok = AtomicUsize::new(0);
+        pool.scoped(vec![Box::new(|| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        }) as Box<dyn FnOnce() + Send + '_>]);
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn reuse_across_many_batches() {
+        let pool = ShardPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..50 {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..5)
+                .map(|_| {
+                    Box::new(|| {
+                        total.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.scoped(jobs);
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 250);
+        assert_eq!(pool.threads(), 3);
+    }
+}

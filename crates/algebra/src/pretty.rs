@@ -9,7 +9,8 @@ use tabular_core::Symbol;
 
 fn ident_ok(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
         && s != "_"
         && !s.eq_ignore_ascii_case("while")
         && !s.eq_ignore_ascii_case("do")
@@ -26,7 +27,12 @@ fn render_symbol(s: Symbol, out: &mut String) {
             if ident_ok(text) {
                 out.push_str(text);
             } else {
-                write!(out, "n:\"{}\"", text.replace('\\', "\\\\").replace('"', "\\\"")).unwrap();
+                write!(
+                    out,
+                    "n:\"{}\"",
+                    text.replace('\\', "\\\\").replace('"', "\\\"")
+                )
+                .unwrap();
             }
         }
         Symbol::Value(i) => {
@@ -34,7 +40,12 @@ fn render_symbol(s: Symbol, out: &mut String) {
             if ident_ok(text) {
                 write!(out, "v:{text}").unwrap();
             } else {
-                write!(out, "v:\"{}\"", text.replace('\\', "\\\\").replace('"', "\\\"")).unwrap();
+                write!(
+                    out,
+                    "v:\"{}\"",
+                    text.replace('\\', "\\\\").replace('"', "\\\"")
+                )
+                .unwrap();
             }
         }
     }
@@ -274,11 +285,7 @@ mod tests {
     #[test]
     fn renders_keyword_collisions_quoted() {
         // A table named "while" must render quoted, not bare.
-        let p = Program::new().assign(
-            Param::name("while"),
-            OpKind::Copy,
-            vec![Param::name("end")],
-        );
+        let p = Program::new().assign(Param::name("while"), OpKind::Copy, vec![Param::name("end")]);
         let rendered = render(&p);
         let p2 = parse(&rendered).unwrap();
         assert_eq!(p, p2);

@@ -1,8 +1,12 @@
-//! Ablation (DESIGN.md §6): semi-naive vs naive SchemaLog fixpoints on
-//! recursive transitive closure — the crossover grows with iteration
+//! Ablation (DESIGN.md §6): incremental vs naive fixpoints on recursive
+//! transitive closure, on both engines that iterate to one — the
+//! SchemaLog evaluator (semi-naive vs naive) and the TA interpreter's
+//! `while` loop (delta vs naive). The crossover grows with iteration
 //! depth.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tabular_algebra::{run, EvalLimits, WhileStrategy};
+use tabular_bench::{ta_chain_db, ta_tc_program};
 use tabular_relational::relation::{RelDatabase, Relation};
 use tabular_schemalog::{
     eval::{eval, SlLimits, Strategy},
@@ -41,6 +45,27 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("naive", len), &quads, |b, q| {
             b.iter(|| eval(&program, q, Strategy::Naive, &limits).unwrap());
+        });
+    }
+    g.finish();
+
+    // The same ablation one level up: the TA interpreter's `while` loop
+    // on the Theorem 4.1 transitive-closure program. `Delta` skips the
+    // loop-invariant statements and recomputes the product/selection/
+    // projection chain incrementally over the appended `TC` rows.
+    let ta_program = ta_tc_program();
+    let strategy_limits = |s| EvalLimits {
+        while_strategy: s,
+        ..EvalLimits::default()
+    };
+    let mut g = c.benchmark_group("ablation/delta_while_tc");
+    for &len in &[8usize, 16, 24] {
+        let db = ta_chain_db(len);
+        g.bench_with_input(BenchmarkId::new("delta", len), &db, |b, db| {
+            b.iter(|| run(&ta_program, db, &strategy_limits(WhileStrategy::Delta)).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("naive", len), &db, |b, db| {
+            b.iter(|| run(&ta_program, db, &strategy_limits(WhileStrategy::Naive)).unwrap());
         });
     }
     g.finish();

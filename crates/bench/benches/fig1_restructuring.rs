@@ -27,18 +27,26 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1/info1_to_info2");
     for &(p, r) in SWEEP {
         let db = Database::from_tables([fixtures::make_sales_relation(p, r)]);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{r}")), &db, |b, db| {
-            b.iter(|| run(&to_info2, db, &limits).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{p}x{r}")),
+            &db,
+            |b, db| {
+                b.iter(|| run(&to_info2, db, &limits).unwrap());
+            },
+        );
     }
     g.finish();
 
     let mut g = c.benchmark_group("fig1/info1_to_info4");
     for &(p, r) in SWEEP {
         let db = Database::from_tables([fixtures::make_sales_relation(p, r)]);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{r}")), &db, |b, db| {
-            b.iter(|| run(&to_info4, db, &limits).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{p}x{r}")),
+            &db,
+            |b, db| {
+                b.iter(|| run(&to_info4, db, &limits).unwrap());
+            },
+        );
     }
     g.finish();
 
@@ -47,9 +55,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1/info4_to_info1");
     for &(p, r) in &[(4usize, 4usize), (16, 8), (64, 12)] {
         let db = fixtures::make_sales_info4(p, r);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{r}")), &db, |b, db| {
-            b.iter(|| run(&from_info4, db, &limits).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{p}x{r}")),
+            &db,
+            |b, db| {
+                b.iter(|| run(&from_info4, db, &limits).unwrap());
+            },
+        );
     }
     g.finish();
 }

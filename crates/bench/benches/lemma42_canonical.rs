@@ -13,9 +13,13 @@ fn bench(c: &mut Criterion) {
     for &(p, r) in SWEEP {
         let db = Database::from_tables([fixtures::make_sales_relation(p, r)]);
         g.throughput(Throughput::Elements(db.cell_count() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{r}")), &db, |b, db| {
-            b.iter(|| encode(db));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{p}x{r}")),
+            &db,
+            |b, db| {
+                b.iter(|| encode(db));
+            },
+        );
     }
     g.finish();
 
@@ -23,18 +27,26 @@ fn bench(c: &mut Criterion) {
     for &(p, r) in SWEEP {
         let db = Database::from_tables([fixtures::make_sales_relation(p, r)]);
         let rep = encode(&db);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{r}")), &rep, |b, rep| {
-            b.iter(|| decode(rep).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{p}x{r}")),
+            &rep,
+            |b, rep| {
+                b.iter(|| decode(rep).unwrap());
+            },
+        );
     }
     g.finish();
 
     let mut g = c.benchmark_group("lemma42/round_trip");
     for &(p, r) in SWEEP {
         let db = Database::from_tables([fixtures::make_sales_relation(p, r)]);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{r}")), &db, |b, db| {
-            b.iter(|| decode(&encode(db)).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{p}x{r}")),
+            &db,
+            |b, db| {
+                b.iter(|| decode(&encode(db)).unwrap());
+            },
+        );
     }
     g.finish();
 
@@ -47,9 +59,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("lemma42/ta_program");
     for &(p, r) in &[(4usize, 4usize), (16, 8), (32, 12)] {
         let db = Database::from_tables([fixtures::make_sales_relation(p, r)]);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{r}")), &db, |b, db| {
-            b.iter(|| run_outputs(&program, db, &outputs, &limits).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{p}x{r}")),
+            &db,
+            |b, db| {
+                b.iter(|| run_outputs(&program, db, &outputs, &limits).unwrap());
+            },
+        );
     }
     g.finish();
 }

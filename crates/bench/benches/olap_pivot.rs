@@ -50,8 +50,9 @@ fn bench(c: &mut Criterion) {
             &rel,
             |b, rel| {
                 b.iter(|| {
-                    let cube = Cube::from_table(rel, &[region, Symbol::name("Part")], sold, Agg::Sum)
-                        .unwrap();
+                    let cube =
+                        Cube::from_table(rel, &[region, Symbol::name("Part")], sold, Agg::Sum)
+                            .unwrap();
                     cube.grand_total(Agg::Sum)
                 });
             },

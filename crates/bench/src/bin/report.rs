@@ -7,7 +7,7 @@
 //! ```
 
 use std::time::Instant;
-use tabular_algebra::{parser::parse, run, run_outputs, EvalLimits};
+use tabular_algebra::{parser::parse, run, run_outputs, run_with_stats, EvalLimits, WhileStrategy};
 use tabular_canonical::{check_fds, decode, encode, encode_program, EncodeScheme};
 use tabular_core::{fixtures, Symbol, SymbolSet};
 use tabular_olap::baseline::pivot_direct;
@@ -157,6 +157,32 @@ fn main() {
         });
     }
 
+    // The delta `while` strategy on the same closure, head to head with
+    // naive re-execution (the TA-side ablation behind
+    // `ablation/delta_while_tc`).
+    {
+        let p = tabular_bench::ta_tc_program();
+        let db = tabular_bench::ta_chain_db(24);
+        let naive_limits = EvalLimits {
+            while_strategy: WhileStrategy::Naive,
+            ..EvalLimits::default()
+        };
+        let (out_naive, us_naive) = timed(|| run(&p, &db, &naive_limits).unwrap());
+        let ((out_delta, stats), us_delta) = timed(|| run_with_stats(&p, &db, &limits).unwrap());
+        let ok = out_naive.table_str("TC").unwrap() == out_delta.table_str("TC").unwrap()
+            && stats.while_fallback_naive == 0
+            && stats.while_delta_skipped > 0;
+        rows.push(Row {
+            id: "Thm4.1",
+            what: format!(
+                "TC 24-chain: delta while {us_delta}µs vs naive {us_naive}µs ({} stmts skipped)",
+                stats.while_delta_skipped
+            ),
+            outcome: verdict(ok),
+            micros: us_delta,
+        });
+    }
+
     // ------------------------------------------------------------------
     // Lemmas 4.2/4.3
     // ------------------------------------------------------------------
@@ -185,9 +211,8 @@ fn main() {
                 &limits,
             )
             .unwrap();
-            let rep =
-                RelDatabase::from_tabular(&out, &[Symbol::name("Data"), Symbol::name("Map")])
-                    .unwrap();
+            let rep = RelDatabase::from_tabular(&out, &[Symbol::name("Data"), Symbol::name("Map")])
+                .unwrap();
             decode(&rep).unwrap().equiv(&db)
         });
         rows.push(Row {
@@ -269,9 +294,8 @@ fn main() {
     // ------------------------------------------------------------------
     for &(p, r) in &[(16usize, 8usize), (64, 16), (128, 32)] {
         let rel = fixtures::make_sales_relation(p, r);
-        let (ta, us_ta) = timed(|| {
-            pivot(&rel, Symbol::name("Region"), Symbol::name("Sold"), &limits).unwrap()
-        });
+        let (ta, us_ta) =
+            timed(|| pivot(&rel, Symbol::name("Region"), Symbol::name("Sold"), &limits).unwrap());
         let (base, us_base) =
             timed(|| pivot_direct(&rel, Symbol::name("Region"), Symbol::name("Sold")).unwrap());
         rows.push(Row {

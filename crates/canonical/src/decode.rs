@@ -93,7 +93,11 @@ pub fn decode(rep: &RelDatabase) -> Result<Database> {
         if !build.cols.contains(&col) {
             build.cols.push(col);
         }
-        if build.cells.insert((row, col), val).is_some_and(|p| p != val) {
+        if build
+            .cells
+            .insert((row, col), val)
+            .is_some_and(|p| p != val)
+        {
             return Err(CanonError::FdViolation("Tbl, Row, Col -> Val"));
         }
     }
@@ -107,15 +111,13 @@ pub fn decode(rep: &RelDatabase) -> Result<Database> {
         for (i, &row_id) in build.rows.iter().enumerate() {
             table.set(i + 1, 0, lookup(row_id)?);
             for (j, &col_id) in build.cols.iter().enumerate() {
-                let val_id = build
-                    .cells
-                    .get(&(row_id, col_id))
-                    .copied()
-                    .ok_or(CanonError::IncompleteGrid {
+                let val_id = build.cells.get(&(row_id, col_id)).copied().ok_or(
+                    CanonError::IncompleteGrid {
                         table: tbl_id,
                         row: row_id,
                         col: col_id,
-                    })?;
+                    },
+                )?;
                 table.set(i + 1, j + 1, lookup(val_id)?);
             }
         }
@@ -159,10 +161,7 @@ mod tests {
     #[test]
     fn decode_requires_both_relations() {
         let rep = RelDatabase::from_relations([Relation::new("Map", &["Id", "Entry"], &[])]);
-        assert!(matches!(
-            decode(&rep),
-            Err(CanonError::MissingRelation(_))
-        ));
+        assert!(matches!(decode(&rep), Err(CanonError::MissingRelation(_))));
     }
 
     #[test]
@@ -225,7 +224,11 @@ mod tests {
     fn decode_is_insensitive_to_id_spelling() {
         // Hand-written ids (not interner-fresh) decode fine.
         let rep = RelDatabase::from_relations([
-            Relation::new("Data", &["Tbl", "Row", "Col", "Val"], &[&["t", "r", "c", "v"]]),
+            Relation::new(
+                "Data",
+                &["Tbl", "Row", "Col", "Val"],
+                &[&["t", "r", "c", "v"]],
+            ),
             Relation::new(
                 "Map",
                 &["Id", "Entry"],

@@ -156,8 +156,7 @@ mod tests {
         let db = fixtures::sales_info4(); // four tables named Sales
         let rep = encode(&db);
         let data = rep.get(data_name()).unwrap();
-        let tbl_ids: std::collections::HashSet<Symbol> =
-            data.tuples().map(|t| t[0]).collect();
+        let tbl_ids: std::collections::HashSet<Symbol> = data.tuples().map(|t| t[0]).collect();
         assert_eq!(tbl_ids.len(), 4);
     }
 

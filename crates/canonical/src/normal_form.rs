@@ -89,14 +89,12 @@ pub fn rename_tables(from: &str, to: &str) -> Transformation {
         .times(RelExpr::constant("Entry", &format!("n:{to}")));
     Transformation {
         label: "rename-tables",
-        fo: FoProgram::new()
-            .assign("Affected", affected)
-            .assign(
-                "Map",
-                RelExpr::rel("Map")
-                    .minus(RelExpr::rel("Affected"))
-                    .union(renamed),
-            ),
+        fo: FoProgram::new().assign("Affected", affected).assign(
+            "Map",
+            RelExpr::rel("Map")
+                .minus(RelExpr::rel("Affected"))
+                .union(renamed),
+        ),
     }
 }
 
@@ -264,11 +262,7 @@ pub fn relation_to_matrix(
         RelExpr::rel("D")
             .times(RelExpr::rel(colrel).rename("Col", "C2"))
             .select("Col", "C2")
-            .times(
-                RelExpr::rel("Map")
-                    .rename("Id", "I")
-                    .rename("Entry", out),
-            )
+            .times(RelExpr::rel("Map").rename("Id", "I").rename("Entry", out))
             .select("Val", "I")
             .project(&["Row", out])
     };
@@ -299,9 +293,8 @@ pub fn relation_to_matrix(
         .select("RE", "RE2")
         .select("PE", "PE2")
         .project(&["RE", "NR", "PE", "NC", "SE"]);
-    let missing = RelExpr::rel("Grid").minus(
-        RelExpr::rel("Present").project(&["RE", "NR", "PE", "NC"]),
-    );
+    let missing =
+        RelExpr::rel("Grid").minus(RelExpr::rel("Present").project(&["RE", "NR", "PE", "NC"]));
 
     let data_rows = |src_rel: &str| {
         RelExpr::rel(src_rel)
@@ -431,8 +424,7 @@ mod tests {
     fn transpose_all_matches_per_table_transposition() {
         let db = fixtures::sales_info2_full();
         let out = transpose_all().apply(&db, 1000).unwrap();
-        let expected =
-            Database::from_tables(db.tables().iter().map(|t| t.transpose()));
+        let expected = Database::from_tables(db.tables().iter().map(|t| t.transpose()));
         assert!(out.equiv(&expected), "got:\n{out}\nexpected:\n{expected}");
     }
 
@@ -521,7 +513,10 @@ mod tests {
         let t = rename_tables("Sales", "Orders");
         let native = t.apply(&db, 1000).unwrap();
         let via_ta = t.apply_via_ta(&db, &EvalLimits::default()).unwrap();
-        assert!(native.equiv(&via_ta), "native:\n{native}\nvia TA:\n{via_ta}");
+        assert!(
+            native.equiv(&via_ta),
+            "native:\n{native}\nvia TA:\n{via_ta}"
+        );
     }
 
     #[test]

@@ -283,13 +283,7 @@ mod tests {
 
     fn run_encode(scheme: &EncodeScheme, db: &Database) -> RelDatabase {
         let p = encode_program(scheme).unwrap();
-        let out = run_outputs(
-            &p,
-            db,
-            &[data_name(), map_name()],
-            &EvalLimits::default(),
-        )
-        .unwrap();
+        let out = run_outputs(&p, db, &[data_name(), map_name()], &EvalLimits::default()).unwrap();
         RelDatabase::from_tabular(&out, &[data_name(), map_name()]).unwrap()
     }
 

@@ -381,7 +381,10 @@ mod tests {
         assert_eq!(t.get(5, 6), Symbol::value("420"));
         assert_eq!(sales_info1_full().len(), 4);
         let t3 = sales_info3_full();
-        assert_eq!(t3.table_str("Sales").unwrap().get(5, 4), Symbol::value("420"));
+        assert_eq!(
+            t3.table_str("Sales").unwrap().get(5, 4),
+            Symbol::value("420")
+        );
     }
 
     #[test]

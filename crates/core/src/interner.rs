@@ -221,7 +221,13 @@ mod tests {
     #[test]
     fn concurrent_interning_agrees() {
         let handles: Vec<_> = (0..8)
-            .map(|_| std::thread::spawn(|| (0..200).map(|i| intern(&format!("c{i}"))).collect::<Vec<_>>()))
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..200)
+                        .map(|i| intern(&format!("c{i}")))
+                        .collect::<Vec<_>>()
+                })
+            })
             .collect();
         let results: Vec<Vec<Istr>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         for w in results.windows(2) {

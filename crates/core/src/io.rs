@@ -152,11 +152,7 @@ mod tests {
 
     #[test]
     fn quoting_round_trips() {
-        let t = Table::from_grid(&[
-            &["T", "v:a,b", "n:say \"hi\""],
-            &["r", "x\ny", "_"],
-        ])
-        .unwrap();
+        let t = Table::from_grid(&[&["T", "v:a,b", "n:say \"hi\""], &["r", "x\ny", "_"]]).unwrap();
         let csv = to_csv(&t);
         assert!(csv.contains("\"v:a,b\""));
         let back = from_csv(&csv).unwrap();

@@ -121,11 +121,7 @@ mod tests {
 
     #[test]
     fn null_and_tagged_cells_round_trip() {
-        let t = Table::from_grid(&[
-            &["T", "v:Data", "n:Attr"],
-            &["v:row", "_", "n:Name"],
-        ])
-        .unwrap();
+        let t = Table::from_grid(&[&["T", "v:Data", "n:Attr"], &["v:row", "_", "n:Name"]]).unwrap();
         assert_eq!(round_trip_table(&t), t);
     }
 }

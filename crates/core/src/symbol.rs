@@ -112,12 +112,14 @@ impl Symbol {
                 Symbol::Value(_) => 2,
             }
         }
-        rank(self).cmp(&rank(other)).then_with(|| match (self, other) {
-            (Symbol::Name(a), Symbol::Name(b)) | (Symbol::Value(a), Symbol::Value(b)) => {
-                a.as_str().cmp(b.as_str())
-            }
-            _ => Ordering::Equal,
-        })
+        rank(self)
+            .cmp(&rank(other))
+            .then_with(|| match (self, other) {
+                (Symbol::Name(a), Symbol::Name(b)) | (Symbol::Value(a), Symbol::Value(b)) => {
+                    a.as_str().cmp(b.as_str())
+                }
+                _ => Ordering::Equal,
+            })
     }
 }
 
@@ -306,7 +308,11 @@ mod tests {
             ("n:east", false),
             ("v:Sold", true),
         ] {
-            let sort: fn(&str) -> Symbol = if default_name { Symbol::name } else { Symbol::value };
+            let sort: fn(&str) -> Symbol = if default_name {
+                Symbol::name
+            } else {
+                Symbol::value
+            };
             let sym = parse_cell(cell, sort);
             let rendered = render_cell(sym, default_name);
             assert_eq!(parse_cell(&rendered, sort), sym, "cell {cell:?}");

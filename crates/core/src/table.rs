@@ -106,11 +106,7 @@ impl Table {
             t.set(0, j + 1, Symbol::name(a));
         }
         for (i, row) in rows.iter().enumerate() {
-            assert_eq!(
-                row.len(),
-                attrs.len(),
-                "relational row {i} arity mismatch"
-            );
+            assert_eq!(row.len(), attrs.len(), "relational row {i} arity mismatch");
             for (j, cell) in row.iter().enumerate() {
                 t.set(i + 1, j + 1, parse_cell(cell, Symbol::value));
             }
@@ -155,7 +151,10 @@ impl Table {
     /// The entry `τᵢ^j`. Panics on out-of-bounds (indices are internal).
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> Symbol {
-        assert!(i <= self.height && j <= self.width, "get({i},{j}) out of bounds");
+        assert!(
+            i <= self.height && j <= self.width,
+            "get({i},{j}) out of bounds"
+        );
         self.cells[self.idx(i, j)]
     }
 
@@ -176,7 +175,10 @@ impl Table {
     /// Overwrite the entry `τᵢ^j`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, s: Symbol) {
-        assert!(i <= self.height && j <= self.width, "set({i},{j}) out of bounds");
+        assert!(
+            i <= self.height && j <= self.width,
+            "set({i},{j}) out of bounds"
+        );
         let ix = self.idx(i, j);
         self.cells[ix] = s;
     }
@@ -271,7 +273,9 @@ impl Table {
 
     /// Data columns whose attribute is `a` (indices into `1..=width`).
     pub fn cols_named(&self, a: Symbol) -> Vec<usize> {
-        (1..=self.width).filter(|&j| self.col_attr(j) == a).collect()
+        (1..=self.width)
+            .filter(|&j| self.col_attr(j) == a)
+            .collect()
     }
 
     /// Data columns whose attribute is in `set`.
@@ -599,7 +603,15 @@ impl Table {
         // within it the answer is exact, beyond it we conservatively
         // report inequality.
         let mut budget = 1_000_000usize;
-        search(self, other, &mine, &theirs, &mut perm, &mut used, &mut budget)
+        search(
+            self,
+            other,
+            &mine,
+            &theirs,
+            &mut perm,
+            &mut used,
+            &mut budget,
+        )
     }
 
     /// Remove exactly-duplicate data rows (keeping first occurrences).
@@ -695,12 +707,8 @@ mod tests {
 
     #[test]
     fn transpose_is_an_involution() {
-        let t = Table::from_grid(&[
-            &["T", "A", "B"],
-            &["r1", "1", "2"],
-            &["r2", "3", "4"],
-        ])
-        .unwrap();
+        let t =
+            Table::from_grid(&[&["T", "A", "B"], &["r1", "1", "2"], &["r2", "3", "4"]]).unwrap();
         assert_eq!(t.transpose().transpose(), t);
         let tt = t.transpose();
         assert_eq!(tt.height(), t.width());
@@ -727,16 +735,8 @@ mod tests {
 
     #[test]
     fn subsumption_moves_values_between_same_named_columns() {
-        let a = Table::from_grid(&[
-            &["T", "X", "X"],
-            &["_", "1", "_"],
-        ])
-        .unwrap();
-        let b = Table::from_grid(&[
-            &["T", "X", "X"],
-            &["_", "_", "1"],
-        ])
-        .unwrap();
+        let a = Table::from_grid(&[&["T", "X", "X"], &["_", "1", "_"]]).unwrap();
+        let b = Table::from_grid(&[&["T", "X", "X"], &["_", "_", "1"]]).unwrap();
         // ρ₁(X) = {1, ⊥} in both: they subsume each other.
         assert!(a.rows_subsume_each_other(1, &b, 1));
     }
@@ -782,7 +782,10 @@ mod tests {
 
         let proj = t.select_cols(&[1, 4]);
         assert_eq!(proj.width(), 2);
-        assert_eq!(proj.col_attrs(), &[Symbol::name("Part"), Symbol::name("Year")]);
+        assert_eq!(
+            proj.col_attrs(),
+            &[Symbol::name("Part"), Symbol::name("Year")]
+        );
 
         let sel = t.retain_rows(|i| t.get(i, 2) == Symbol::value("east"));
         assert_eq!(sel.height(), 2);

@@ -81,7 +81,9 @@ impl SymbolSet {
     /// Weak containment `self ≼ other`: every non-⊥ element of `self` is in
     /// `other`.
     pub fn weakly_contained_in(&self, other: &SymbolSet) -> bool {
-        self.iter().filter(|s| !s.is_null()).all(|s| other.contains(s))
+        self.iter()
+            .filter(|s| !s.is_null())
+            .all(|s| other.contains(s))
     }
 
     /// Weak equality `self ≗ other`.
@@ -110,9 +112,7 @@ impl<'a> IntoIterator for &'a SymbolSet {
 
 /// Weak containment on raw symbol slices (treated as sets).
 pub fn weakly_contained(a: &[Symbol], b: &[Symbol]) -> bool {
-    a.iter()
-        .filter(|s| !s.is_null())
-        .all(|s| b.contains(s))
+    a.iter().filter(|s| !s.is_null()).all(|s| b.contains(s))
 }
 
 /// Weak equality on raw symbol slices (treated as sets).

@@ -228,10 +228,7 @@ fn compile_op(op: &GoodOp, fo: &mut FoProgram, n: &mut u32) -> Result<()> {
             program
                 .assign(&doom, doomed)
                 .assign("Node", RelExpr::rel("Node").minus(dead_nodes))
-                .assign(
-                    "Edge",
-                    RelExpr::rel("Edge").minus(dead_src.union(dead_dst)),
-                )
+                .assign("Edge", RelExpr::rel("Edge").minus(dead_src.union(dead_dst)))
         }
         GoodOp::NodeAddition {
             pattern,
@@ -247,7 +244,11 @@ fn compile_op(op: &GoodOp, fo: &mut FoProgram, n: &mut u32) -> Result<()> {
             } else {
                 key.clone()
             };
-            for v in edges.iter().map(|&(_, v)| v).chain(key_vars.iter().copied()) {
+            for v in edges
+                .iter()
+                .map(|&(_, v)| v)
+                .chain(key_vars.iter().copied())
+            {
                 if !pattern.vars().contains(&v) {
                     return Err(GoodError::UnknownVariable(v));
                 }

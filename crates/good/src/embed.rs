@@ -38,14 +38,14 @@ pub fn to_tabular(g: &Graph) -> Database {
         &[Symbol::name("Id"), Symbol::name("Label")],
         &node_rows,
     );
-    let edge_rows: Vec<Vec<Symbol>> = g
-        .edges()
-        .iter()
-        .map(|&(s, l, d)| vec![s, l, d])
-        .collect();
+    let edge_rows: Vec<Vec<Symbol>> = g.edges().iter().map(|&(s, l, d)| vec![s, l, d]).collect();
     let edges = Table::relational_syms(
         edge_table(),
-        &[Symbol::name("Src"), Symbol::name("Lab"), Symbol::name("Dst")],
+        &[
+            Symbol::name("Src"),
+            Symbol::name("Lab"),
+            Symbol::name("Dst"),
+        ],
         &edge_rows,
     );
     Database::from_tables([nodes, edges])
@@ -105,24 +105,15 @@ mod tests {
         let db = to_tabular(&sample());
         let nodes = db.table(node_table()).unwrap();
         assert!(nodes.is_relational());
-        assert_eq!(
-            nodes.col_attrs(),
-            &[nm("Id"), nm("Label")]
-        );
+        assert_eq!(nodes.col_attrs(), &[nm("Id"), nm("Label")]);
         let edges = db.table(edge_table()).unwrap();
-        assert_eq!(
-            edges.col_attrs(),
-            &[nm("Src"), nm("Lab"), nm("Dst")]
-        );
+        assert_eq!(edges.col_attrs(), &[nm("Src"), nm("Lab"), nm("Dst")]);
     }
 
     #[test]
     fn decoding_rejects_malformed_embeddings() {
         let db = Database::from_tables([Table::relational("Node", &["Id"], &[])]);
-        assert!(matches!(
-            from_tabular(&db),
-            Err(GoodError::BadEmbedding(_))
-        ));
+        assert!(matches!(from_tabular(&db), Err(GoodError::BadEmbedding(_))));
         let db2 = Database::from_tables([
             Table::relational("Node", &["Id", "Label"], &[]),
             Table::relational("Edge", &["Src", "Dst"], &[]),

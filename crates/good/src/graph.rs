@@ -95,10 +95,7 @@ impl Graph {
 
     /// The label of a node (first one, if several were asserted).
     pub fn label_of(&self, id: Symbol) -> Option<Symbol> {
-        self.nodes
-            .iter()
-            .find(|&&(n, _)| n == id)
-            .map(|&(_, l)| l)
+        self.nodes.iter().find(|&&(n, _)| n == id).map(|&(_, l)| l)
     }
 
     /// True if the edge exists.
@@ -219,7 +216,16 @@ impl Graph {
         let mut mapping = Vec::new();
         let mut used = vec![false; theirs.len()];
         let mut budget = 1_000_000usize;
-        search(0, &mine, &theirs, &mut mapping, &mut used, self, other, &mut budget)
+        search(
+            0,
+            &mine,
+            &theirs,
+            &mut mapping,
+            &mut used,
+            self,
+            other,
+            &mut budget,
+        )
     }
 }
 

@@ -121,11 +121,7 @@ impl GoodProgram {
     }
 }
 
-fn run_statements(
-    stmts: &[GoodStatement],
-    g: &mut Graph,
-    max_iters: usize,
-) -> Result<()> {
+fn run_statements(stmts: &[GoodStatement], g: &mut Graph, max_iters: usize) -> Result<()> {
     for stmt in stmts {
         match stmt {
             GoodStatement::Op(op) => apply(op, g)?,
@@ -166,7 +162,11 @@ pub fn apply(op: &GoodOp, g: &mut Graph) -> Result<()> {
             } else {
                 key.clone()
             };
-            for v in edges.iter().map(|&(_, v)| v).chain(key_vars.iter().copied()) {
+            for v in edges
+                .iter()
+                .map(|&(_, v)| v)
+                .chain(key_vars.iter().copied())
+            {
                 if !pattern.vars().contains(&v) {
                     return Err(GoodError::UnknownVariable(v));
                 }
@@ -387,10 +387,7 @@ mod tests {
             .node(2, "Person")
             .edge(0, "parent", 1)
             .edge(1, "parent", 2);
-        let p = GoodProgram::new().op(GoodOp::NodeDeletion {
-            pattern,
-            target: 1,
-        });
+        let p = GoodProgram::new().op(GoodOp::NodeDeletion { pattern, target: 1 });
         let out = p.run(&g, 100).unwrap();
         assert_eq!(out.node_count(), 2);
         assert_eq!(out.edge_count(), 0);
@@ -406,9 +403,7 @@ mod tests {
             .edge(0, "parent", 1);
         // Delete only the edges out of nodes that themselves have a parent
         // edge pointing at them — i.e. b → c.
-        let pattern = pattern
-            .node(2, "Person")
-            .edge(2, "parent", 0);
+        let pattern = pattern.node(2, "Person").edge(2, "parent", 0);
         let p = GoodProgram::new().op(GoodOp::EdgeDeletion {
             pattern,
             from: 0,
@@ -497,10 +492,7 @@ mod tests {
             key: vec![0],
         };
         let p = GoodProgram::new().fixpoint(GoodProgram::new().op(grower));
-        assert!(matches!(
-            p.run(&g, 5),
-            Err(GoodError::FixpointLimit(5))
-        ));
+        assert!(matches!(p.run(&g, 5), Err(GoodError::FixpointLimit(5))));
     }
 
     #[test]

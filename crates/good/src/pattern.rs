@@ -65,21 +65,16 @@ impl Pattern {
         out
     }
 
-    fn extend(
-        &self,
-        g: &Graph,
-        k: usize,
-        partial: &mut Embedding,
-        out: &mut Vec<Embedding>,
-    ) {
+    fn extend(&self, g: &Graph, k: usize, partial: &mut Embedding, out: &mut Vec<Embedding>) {
         if k == self.nodes.len() {
             // Check the edges (node labels were enforced on assignment).
-            let ok = self.edges.iter().all(|&(u, l, w)| {
-                match (partial.get(&u), partial.get(&w)) {
+            let ok = self
+                .edges
+                .iter()
+                .all(|&(u, l, w)| match (partial.get(&u), partial.get(&w)) {
                     (Some(&su), Some(&sw)) => g.has_edge(su, l, sw),
                     _ => false,
-                }
-            });
+                });
             if ok {
                 out.push(partial.clone());
             }
@@ -145,10 +140,7 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add_node(Symbol::name("P"));
         g.add_edge(a, Symbol::name("e"), a);
-        let p = Pattern::new()
-            .node(0, "P")
-            .node(1, "P")
-            .edge(0, "e", 1);
+        let p = Pattern::new().node(0, "P").node(1, "P").edge(0, "e", 1);
         // Both variables map to the self-loop node.
         let embs = p.embeddings(&g);
         assert_eq!(embs.len(), 1);

@@ -118,13 +118,7 @@ mod tests {
     #[test]
     fn classify_sales() {
         let c = Classifier::ranges(vec![50.0, 65.0], &["low", "mid", "high"]);
-        let out = classify_table(
-            &fixtures::sales_relation(),
-            nm("Sold"),
-            &c,
-            nm("Band"),
-        )
-        .unwrap();
+        let out = classify_table(&fixtures::sales_relation(), nm("Sold"), &c, nm("Band")).unwrap();
         assert_eq!(out.width(), 4);
         // bolts east 70 → high.
         let i = (1..=out.height())
@@ -167,13 +161,8 @@ mod tests {
         // band.
         use crate::pivot::pivot;
         let c = Classifier::ranges(vec![50.0, 65.0], &["low", "mid", "high"]);
-        let classified = classify_table(
-            &fixtures::sales_relation(),
-            nm("Sold"),
-            &c,
-            nm("Band"),
-        )
-        .unwrap();
+        let classified =
+            classify_table(&fixtures::sales_relation(), nm("Sold"), &c, nm("Band")).unwrap();
         let cross = pivot(
             &classified,
             nm("Band"),

@@ -285,9 +285,7 @@ impl Cube {
         for (i, &r) in rows.iter().enumerate() {
             t.set(i + 1, 0, r);
             for j in 0..cols.len() {
-                let cell = self
-                    .get(&[i, j])
-                    .map_or(Symbol::Null, render_measure);
+                let cell = self.get(&[i, j]).map_or(Symbol::Null, render_measure);
                 t.set(i + 1, j + 1, cell);
             }
         }
@@ -533,11 +531,7 @@ mod tests {
 
     #[test]
     fn duplicate_facts_aggregate() {
-        let t = Table::relational(
-            "R",
-            &["D", "M"],
-            &[&["x", "1"], &["x", "2"], &["y", "5"]],
-        );
+        let t = Table::relational("R", &["D", "M"], &[&["x", "1"], &["x", "2"], &["y", "5"]]);
         let c = Cube::from_table(&t, &[Symbol::name("D")], Symbol::name("M"), Agg::Sum).unwrap();
         let x = c.member_index(0, Symbol::value("x")).unwrap();
         assert_eq!(c.get(&[x]), Some(3.0));

@@ -30,7 +30,13 @@ fn param_of(syms: &[Symbol]) -> Param {
 /// The TA program pivoting table `src`: one cross-tab column per distinct
 /// value under `col_attr`, cell values from `val_attr`, rows keyed by the
 /// remaining attributes `keys`. The result is named `target`.
-pub fn pivot_program(src: Symbol, col_attr: Symbol, val_attr: Symbol, keys: &[Symbol], target: Symbol) -> Program {
+pub fn pivot_program(
+    src: Symbol,
+    col_attr: Symbol,
+    val_attr: Symbol,
+    keys: &[Symbol],
+    target: Symbol,
+) -> Program {
     let mut e = Emitter::new();
     let g = e.fresh();
     e.assign(
@@ -119,12 +125,7 @@ pub fn unpivot_program(src: Symbol, val_attr: Symbol, col_attr: Symbol, target: 
 }
 
 /// Run [`pivot_program`] on a single table, returning the cross-tab.
-pub fn pivot(
-    t: &Table,
-    col_attr: Symbol,
-    val_attr: Symbol,
-    limits: &EvalLimits,
-) -> Result<Table> {
+pub fn pivot(t: &Table, col_attr: Symbol, val_attr: Symbol, limits: &EvalLimits) -> Result<Table> {
     let keys: Vec<Symbol> = {
         let drop: SymbolSet = [col_attr, val_attr].into_iter().collect();
         t.scheme().minus(&drop).iter().collect()

@@ -62,7 +62,11 @@ pub fn summarize(
             key
         })
         .collect();
-    Ok(Table::relational_syms(Symbol::name(out_name), &attrs, &rows))
+    Ok(Table::relational_syms(
+        Symbol::name(out_name),
+        &attrs,
+        &rows,
+    ))
 }
 
 /// The grand total of a measure over a relational fact table — the
@@ -248,10 +252,7 @@ mod tests {
         assert_eq!(out.width(), expected.width());
         // Row totals in the last column, grand total in the corner.
         assert_eq!(out.get(1, out.width()), Symbol::value("120"));
-        assert_eq!(
-            out.get(out.height(), out.width()),
-            Symbol::value("420")
-        );
+        assert_eq!(out.get(out.height(), out.width()), Symbol::value("420"));
     }
 
     #[test]

@@ -352,7 +352,10 @@ mod tests {
         let p = FoProgram::new().new_ids("T", "R", "Id");
         let direct = canonicalize_fresh(&p.run(&db, 100).unwrap());
         let via_ta = canonicalize_fresh(&run_compiled(&p, &db, &["T"], &limits()).unwrap());
-        assert!(direct.get_str("T").unwrap().equiv(via_ta.get_str("T").unwrap()));
+        assert!(direct
+            .get_str("T")
+            .unwrap()
+            .equiv(via_ta.get_str("T").unwrap()));
     }
 
     #[test]
@@ -370,7 +373,10 @@ mod tests {
         // The constant's transient scratch table is named like the stored
         // relation S; the compiled program must save and restore S.
         let p = FoProgram::new()
-            .assign("M", RelExpr::rel("R").times(RelExpr::constant("Mark", "n:S")))
+            .assign(
+                "M",
+                RelExpr::rel("R").times(RelExpr::constant("Mark", "n:S")),
+            )
             .assign("Check", RelExpr::rel("S"));
         simulate_and_compare(&p, &sample_db(), &["M", "Check"]);
     }

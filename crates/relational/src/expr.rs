@@ -188,8 +188,7 @@ impl RelExpr {
                         return Err(RelError::ProductAttributeClash(*a));
                     }
                 }
-                let attrs: Vec<Symbol> =
-                    l.attrs().iter().chain(r.attrs()).copied().collect();
+                let attrs: Vec<Symbol> = l.attrs().iter().chain(r.attrs()).copied().collect();
                 let mut out = Relation::empty(scratch, attrs)?;
                 for lt in l.tuples() {
                     for rt in r.tuples() {
@@ -323,9 +322,15 @@ mod tests {
 
     #[test]
     fn union_and_difference() {
-        let u = RelExpr::rel("R").union(RelExpr::rel("S")).eval(&db()).unwrap();
+        let u = RelExpr::rel("R")
+            .union(RelExpr::rel("S"))
+            .eval(&db())
+            .unwrap();
         assert_eq!(u.len(), 4);
-        let d = RelExpr::rel("R").minus(RelExpr::rel("S")).eval(&db()).unwrap();
+        let d = RelExpr::rel("R")
+            .minus(RelExpr::rel("S"))
+            .eval(&db())
+            .unwrap();
         assert_eq!(d.len(), 2);
     }
 
@@ -333,7 +338,10 @@ mod tests {
     fn union_aligns_permuted_headers() {
         let mut db = db();
         db.set(Relation::new("P", &["B", "A"], &[&["2", "1"], &["9", "8"]]));
-        let u = RelExpr::rel("R").union(RelExpr::rel("P")).eval(&db).unwrap();
+        let u = RelExpr::rel("R")
+            .union(RelExpr::rel("P"))
+            .eval(&db)
+            .unwrap();
         // (1,2) collapses with R's (1,2); (8,9) is new.
         assert_eq!(u.len(), 4);
         assert!(u.contains(&[Symbol::value("8"), Symbol::value("9")]));
@@ -368,7 +376,10 @@ mod tests {
         let s = RelExpr::rel("R").select("A", "B").eval(&db()).unwrap();
         assert_eq!(s.len(), 1);
         assert!(s.contains(&[Symbol::value("2"), Symbol::value("2")]));
-        let c = RelExpr::rel("R").select_const("B", "2").eval(&db()).unwrap();
+        let c = RelExpr::rel("R")
+            .select_const("B", "2")
+            .eval(&db())
+            .unwrap();
         assert_eq!(c.len(), 2);
     }
 

@@ -88,11 +88,7 @@ impl FoProgram {
     }
 }
 
-fn run_statements(
-    stmts: &[FoStatement],
-    db: &mut RelDatabase,
-    max_iters: usize,
-) -> Result<()> {
+fn run_statements(stmts: &[FoStatement], db: &mut RelDatabase, max_iters: usize) -> Result<()> {
     for stmt in stmts {
         match stmt {
             FoStatement::Assign { target, expr } => {
@@ -252,10 +248,8 @@ mod tests {
     fn while_limit_guards_divergence() {
         // Body never empties the condition relation.
         let db = RelDatabase::from_relations([Relation::new("R", &["A"], &[&["1"]])]);
-        let p = FoProgram::new().while_nonempty(
-            "R",
-            FoProgram::new().assign("R", RelExpr::rel("R")),
-        );
+        let p =
+            FoProgram::new().while_nonempty("R", FoProgram::new().assign("R", RelExpr::rel("R")));
         assert!(matches!(p.run(&db, 10), Err(RelError::WhileLimit(10))));
     }
 

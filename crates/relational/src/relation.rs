@@ -219,11 +219,10 @@ impl RelDatabase {
     /// Equality as a set of named relations.
     pub fn equiv(&self, other: &RelDatabase) -> bool {
         self.relations.len() == other.relations.len()
-            && self.relations.iter().all(|r| {
-                other
-                    .get(r.name())
-                    .is_some_and(|o| r.equiv(o))
-            })
+            && self
+                .relations
+                .iter()
+                .all(|r| other.get(r.name()).is_some_and(|o| r.equiv(o)))
     }
 
     /// Embed the whole database into the tabular model.
@@ -288,7 +287,11 @@ mod tests {
 
     #[test]
     fn table_round_trip() {
-        let r = Relation::new("Sales", &["Part", "Sold"], &[&["nuts", "50"], &["bolts", "70"]]);
+        let r = Relation::new(
+            "Sales",
+            &["Part", "Sold"],
+            &[&["nuts", "50"], &["bolts", "70"]],
+        );
         let t = r.to_table();
         assert!(t.is_relational());
         let back = Relation::from_table(&t).unwrap();

@@ -419,7 +419,12 @@ mod tests {
         let src = "ans[T : a -> X] :- sales[T : part -> P], X > P.";
         let p = parse(src).unwrap();
         assert!(matches!(
-            eval(&p, &sales_quads(), Strategy::SemiNaive, &SlLimits::default()),
+            eval(
+                &p,
+                &sales_quads(),
+                Strategy::SemiNaive,
+                &SlLimits::default()
+            ),
             Err(SlError::Unsafe { .. })
         ));
     }

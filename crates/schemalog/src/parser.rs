@@ -131,7 +131,8 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>> {
             c if is_word_char(c) => {
                 let word: String = rest.chars().take_while(|&c| is_word_char(c)).collect();
                 pos += word.len();
-                if (word == "v" || word == "n") && src[pos..].starts_with(':')
+                if (word == "v" || word == "n")
+                    && src[pos..].starts_with(':')
                     && !src[pos..].starts_with(":-")
                 {
                     pos += 1;
@@ -285,9 +286,7 @@ impl Parser {
                         Some(Tok::Comma) => continue,
                         Some(Tok::Period) => break,
                         other => {
-                            return Err(
-                                self.err(format!("expected `,` or `.`, found {other:?}"))
-                            )
+                            return Err(self.err(format!("expected `,` or `.`, found {other:?}")))
                         }
                     }
                 }
@@ -320,7 +319,10 @@ mod tests {
         assert_eq!(p.rules.len(), 1);
         assert_eq!(p.rules[0].head.len(), 1);
         assert_eq!(p.rules[0].body.len(), 3);
-        assert!(matches!(p.rules[0].body[1], Literal::Cmp { op: CmpOp::Ge, .. }));
+        assert!(matches!(
+            p.rules[0].body[1],
+            Literal::Cmp { op: CmpOp::Ge, .. }
+        ));
     }
 
     #[test]
@@ -363,10 +365,8 @@ mod tests {
 
     #[test]
     fn negation_and_facts() {
-        let p = parse(
-            "fact[t : a -> 1].\nans[T : a -> X] :- r[T : a -> X], not fact[T : a -> X].",
-        )
-        .unwrap();
+        let p = parse("fact[t : a -> 1].\nans[T : a -> X] :- r[T : a -> X], not fact[T : a -> X].")
+            .unwrap();
         assert_eq!(p.rules.len(), 2);
         assert!(p.rules[0].body.is_empty());
         assert!(matches!(p.rules[1].body[1], Literal::Neg(_)));
@@ -374,8 +374,8 @@ mod tests {
 
     #[test]
     fn dynamic_heads_parse() {
-        let p = parse("P[T : region -> R] :- sales[T : part -> P], sales[T : region -> R].")
-            .unwrap();
+        let p =
+            parse("P[T : region -> R] :- sales[T : part -> P], sales[T : region -> R].").unwrap();
         assert!(p.has_dynamic_heads());
     }
 

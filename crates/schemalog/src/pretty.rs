@@ -12,7 +12,8 @@ fn looks_like_var(s: &str) -> bool {
 
 fn word_ok(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
+        && s.chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
         && s != "_"
         && s != "not"
         && !(s == "v" || s == "n")
@@ -176,9 +177,6 @@ mod tests {
     #[test]
     fn rendering_is_readable() {
         let p = parse("big[T : part -> P] :- sales[T : part -> P].").unwrap();
-        assert_eq!(
-            render(&p),
-            "big[T : part -> P] :- sales[T : part -> P].\n"
-        );
+        assert_eq!(render(&p), "big[T : part -> P] :- sales[T : part -> P].\n");
     }
 }

@@ -127,8 +127,7 @@ impl QuadDb {
                 let j = attrs.iter().position(|&a| a == q[2]).expect("attr known");
                 slot[j] = q[3];
             }
-            let mut relation =
-                Relation::empty(rel, attrs).expect("attrs are a deduplicated set");
+            let mut relation = Relation::empty(rel, attrs).expect("attrs are a deduplicated set");
             for (_, row) in rows {
                 relation.insert(row).expect("arity by construction");
             }
@@ -172,7 +171,11 @@ mod tests {
 
     fn db() -> RelDatabase {
         RelDatabase::from_relations([
-            Relation::new("sales", &["part", "sold"], &[&["nuts", "50"], &["bolts", "70"]]),
+            Relation::new(
+                "sales",
+                &["part", "sold"],
+                &[&["nuts", "50"], &["bolts", "70"]],
+            ),
             Relation::new("regions", &["name"], &[&["east"]]),
         ])
     }

@@ -71,7 +71,9 @@ pub fn stratify(program: &SlProgram) -> Result<Strata> {
     // (Any → named). Unconditional aliasing would collapse all predicates
     // into one SCC and spuriously reject ordinary stratified programs.
     let reads_any = program.rules.iter().any(|r| {
-        r.body.iter().any(|l| matches!(l, Literal::Pos(a) if a.rel.is_var()))
+        r.body
+            .iter()
+            .any(|l| matches!(l, Literal::Pos(a) if a.rel.is_var()))
     });
     let defines_any = program.has_dynamic_heads();
     let named: Vec<Node> = nodes

@@ -157,13 +157,12 @@ fn body_expr(
                 let col_of = |t: &Term| -> Result<ColOrConst> {
                     match t {
                         Term::Const(c) => Ok(ColOrConst::Const(*c)),
-                        Term::Var(v) => first
-                            .get(v)
-                            .map(|c| ColOrConst::Col(c.clone()))
-                            .ok_or(SlError::Unsafe {
+                        Term::Var(v) => first.get(v).map(|c| ColOrConst::Col(c.clone())).ok_or(
+                            SlError::Unsafe {
                                 var: *v,
                                 rule: rule_idx,
-                            }),
+                            },
+                        ),
                     }
                 };
                 let (l, r) = (col_of(lhs)?, col_of(rhs)?);
@@ -442,19 +441,13 @@ fn translate_inner(program: &SlProgram, with_order: bool) -> Result<FoProgram> {
         let derived = format!("\u{1F}derived{s}");
         fo = fo
             .assign(&derived, union.clone())
-            .assign(
-                &delta,
-                RelExpr::rel(&derived).minus(RelExpr::rel("Quad")),
-            )
+            .assign(&delta, RelExpr::rel(&derived).minus(RelExpr::rel("Quad")))
             .assign("Quad", RelExpr::rel("Quad").union(RelExpr::rel(&delta)))
             .while_nonempty(
                 &delta,
                 FoProgram::new()
                     .assign(&derived, union)
-                    .assign(
-                        &delta,
-                        RelExpr::rel(&derived).minus(RelExpr::rel("Quad")),
-                    )
+                    .assign(&delta, RelExpr::rel(&derived).minus(RelExpr::rel("Quad")))
                     .assign("Quad", RelExpr::rel("Quad").union(RelExpr::rel(&delta))),
             );
     }
@@ -528,11 +521,11 @@ pub fn run_translated(
     }
     let db = RelDatabase::from_relations(relations);
     let out = tabular_relational::compile::run_compiled(&fo, &db, &["Quad"], limits)?;
-    let quad = out
-        .get(quad_rel())
-        .ok_or(SlError::Rel(tabular_relational::RelError::MissingRelation(
-            quad_rel(),
-        )))?;
+    let quad =
+        out.get(quad_rel())
+            .ok_or(SlError::Rel(tabular_relational::RelError::MissingRelation(
+                quad_rel(),
+            )))?;
     Ok(QuadDb::from_relation(quad))
 }
 
@@ -552,11 +545,11 @@ pub fn run_fo(program: &SlProgram, input: &QuadDb, max_iters: usize) -> Result<Q
     }
     let db = RelDatabase::from_relations(relations);
     let out = fo.run(&db, max_iters)?;
-    let quad = out
-        .get(quad_rel())
-        .ok_or(SlError::Rel(tabular_relational::RelError::MissingRelation(
-            quad_rel(),
-        )))?;
+    let quad =
+        out.get(quad_rel())
+            .ok_or(SlError::Rel(tabular_relational::RelError::MissingRelation(
+                quad_rel(),
+            )))?;
     Ok(QuadDb::from_relation(quad))
 }
 
@@ -593,7 +586,10 @@ mod tests {
 
     #[test]
     fn translates_simple_projection() {
-        assert_paths_agree("parts[T : part -> P] :- sales[T : part -> P].", &sales_quads());
+        assert_paths_agree(
+            "parts[T : part -> P] :- sales[T : part -> P].",
+            &sales_quads(),
+        );
     }
 
     #[test]
@@ -670,10 +666,7 @@ mod tests {
     fn translates_repeated_head_variables() {
         // The same variable in two head slots exercises the self-join
         // duplication.
-        assert_paths_agree(
-            "loopy[T : P -> P] :- sales[T : part -> P].",
-            &sales_quads(),
-        );
+        assert_paths_agree("loopy[T : P -> P] :- sales[T : part -> P].", &sales_quads());
     }
 
     #[test]

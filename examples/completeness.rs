@@ -73,7 +73,10 @@ fn main() {
     let dropped = t.apply(&db, 1000).unwrap();
     assert_eq!(dropped.len(), db.len() - 1);
     assert!(dropped.table_str("GrandTotal").is_none());
-    println!("drop-tables: GrandTotal removed; {} tables remain ✓", dropped.len());
+    println!(
+        "drop-tables: GrandTotal removed; {} tables remain ✓",
+        dropped.len()
+    );
 
     // ------------------------------------------------------------------
     // Composition: transformations compose like functions.

@@ -57,7 +57,10 @@ fn main() {
 
     for branch in ["east", "west", "north"] {
         let db = out.member(branch).unwrap();
-        println!("{branch}.Sales, pivoted in place:\n{}", db.table_str("Sales").unwrap());
+        println!(
+            "{branch}.Sales, pivoted in place:\n{}",
+            db.table_str("Sales").unwrap()
+        );
     }
     println!("Federated restructuring complete ✓");
 }

@@ -96,7 +96,10 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\n=== Figure 2 ===");
     let t = fixtures::sales_relation();
-    check("Figure 2: τ₀⁰ is the table name", t.name() == Symbol::name("Sales"));
+    check(
+        "Figure 2: τ₀⁰ is the table name",
+        t.name() == Symbol::name("Sales"),
+    );
     check(
         "Figure 2: τ₀^(>0) are the column attributes",
         t.col_attrs()
@@ -110,7 +113,10 @@ fn main() {
         "Figure 2: τ_(>0)⁰ are the row attributes (⊥ here)",
         t.row_attrs().iter().all(|a| a.is_null()),
     );
-    check("Figure 2: τ_>^> are the data entries", t.get(1, 3) == Symbol::value("50"));
+    check(
+        "Figure 2: τ_>^> are the data entries",
+        t.get(1, 3) == Symbol::value("50"),
+    );
 
     // ------------------------------------------------------------------
     // Figure 3: union, difference, Cartesian product.

@@ -44,10 +44,7 @@ fn main() {
         let total = by_region.get(&[i]).unwrap_or(0.0);
         println!("  {region:<12} {total:>8}");
     }
-    println!(
-        "Grand total: {}",
-        cube.grand_total(Agg::Sum).unwrap_or(0.0)
-    );
+    println!("Grand total: {}", cube.grand_total(Agg::Sum).unwrap_or(0.0));
 
     // Summaries as relations (the SalesInfo1 summary tables).
     let per_part = summarize(
@@ -66,9 +63,13 @@ fn main() {
     // ------------------------------------------------------------------
     // Classification (the paper's announced future-work operation).
     // ------------------------------------------------------------------
-    let classifier =
-        tabular_olap::Classifier::quantiles(&facts, Symbol::name("Sold"), 3, &["low", "mid", "high"])
-            .unwrap();
+    let classifier = tabular_olap::Classifier::quantiles(
+        &facts,
+        Symbol::name("Sold"),
+        3,
+        &["low", "mid", "high"],
+    )
+    .unwrap();
     let classified = tabular_olap::classify::classify_table(
         &facts,
         Symbol::name("Sold"),

@@ -66,7 +66,10 @@ fn main() {
     // ------------------------------------------------------------------
     let to_info4 = parse("Sales <- SPLIT[on {Region}](Sales)").unwrap();
     let got4 = run(&to_info4, &info1, &EvalLimits::default()).unwrap();
-    println!("SalesInfo1 → SalesInfo4 (split): {} tables named Sales", got4.len());
+    println!(
+        "SalesInfo1 → SalesInfo4 (split): {} tables named Sales",
+        got4.len()
+    );
     println!("{got4}");
     assert!(got4.equiv(&info4));
 

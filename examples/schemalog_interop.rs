@@ -81,7 +81,13 @@ fn main() {
         ",
     )
     .unwrap();
-    let native = eval(&ta_fragment, &quads, Strategy::SemiNaive, &SlLimits::default()).unwrap();
+    let native = eval(
+        &ta_fragment,
+        &quads,
+        Strategy::SemiNaive,
+        &SlLimits::default(),
+    )
+    .unwrap();
     let via_ta = run_translated(&ta_fragment, &quads, &EvalLimits::default())
         .expect("translation + TA run succeed");
     let native_rel = native.to_relations(&[Symbol::name("eastern")]);

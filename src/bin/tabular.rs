@@ -215,11 +215,17 @@ mod tests {
         assert!(parse_args(&["run".into()]).is_err());
         let bad = write_temp("bad.ta", "T <- NOPE(R)");
         let (cmd, opts) = parse_args(&["run".into(), bad]).unwrap();
-        assert!(execute(&cmd, &opts).unwrap_err().contains("unknown operation"));
+        assert!(execute(&cmd, &opts)
+            .unwrap_err()
+            .contains("unknown operation"));
         let good = write_temp("good.ta", "T <- COPY(R)");
-        let (cmd, opts) =
-            parse_args(&["run".into(), good, "--table".into(), "/nonexistent.csv".into()])
-                .unwrap();
+        let (cmd, opts) = parse_args(&[
+            "run".into(),
+            good,
+            "--table".into(),
+            "/nonexistent.csv".into(),
+        ])
+        .unwrap();
         assert!(execute(&cmd, &opts).is_err());
     }
 }

@@ -1,0 +1,328 @@
+//! Differential test oracle for the TA interpreter's evaluation
+//! strategies (DESIGN.md, "Delta-driven `while` evaluation").
+//!
+//! Random ground `while` programs are run under every combination of
+//! `WhileStrategy::{Naive, Delta}` and `parallel_threshold ∈ {1, ∞}`
+//! (always-sharded vs never-sharded). All four configurations must agree:
+//! either every run fails with the same error, or every run produces the
+//! same database *up to fresh-tag isomorphism* — programs containing
+//! `TUPLENEW` mint different tag symbols on every run, so outputs are
+//! compared after renumbering machine-generated symbols into a canonical
+//! form (the database-level analogue of
+//! `tabular_relational::canonicalize_fresh`).
+//!
+//! Programs deliberately include name groups (`SPLIT`), non-monotone
+//! operations (`DIFFERENCE`, `TRANSPOSE`), loop-invariant statements
+//! (skipping candidates), accumulator growth (`CLASSICALUNION` — the
+//! append-incremental path), nested loops (delta → naive fallback), and
+//! diverging loops (identical `LimitExceeded` errors).
+
+mod common;
+
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use tables_paradigm::core::interner;
+use tables_paradigm::prelude::*;
+
+// ----------------------------------------------------------------------
+// Equality up to fresh-tag isomorphism
+// ----------------------------------------------------------------------
+
+fn is_fresh(s: Symbol) -> bool {
+    s.text().is_some_and(interner::is_reserved)
+}
+
+/// Compare two storage rows with fresh symbols masked out (fresh sorts
+/// before everything, so rows differing only in tags tie).
+fn cmp_masked(a: &[Symbol], b: &[Symbol]) -> Ordering {
+    for (&x, &y) in a.iter().zip(b) {
+        let c = match (is_fresh(x), is_fresh(y)) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => x.canonical_cmp(y),
+        };
+        if c != Ordering::Equal {
+            return c;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Renumber machine-generated fresh symbols (tags from `TUPLENEW` /
+/// `SETNEW`) into position-canonical placeholders, then canonicalize.
+/// Rows and tables are ordered by their fresh-masked content first, so
+/// the numbering does not depend on which run minted which tag. Like
+/// `tabular_relational::canonicalize_fresh`, this is a true canonical
+/// form whenever rows are distinguishable by their non-fresh parts, which
+/// holds for tagging-style programs.
+fn canonicalize_fresh(db: &Database) -> Database {
+    let mut tables: Vec<Table> = db
+        .tables()
+        .iter()
+        .map(|t| {
+            let mut idx: Vec<usize> = (1..=t.height()).collect();
+            idx.sort_by(|&i, &k| cmp_masked(t.storage_row(i), t.storage_row(k)));
+            t.select_rows(&idx)
+        })
+        .collect();
+    tables.sort_by(|a, b| {
+        a.name()
+            .canonical_cmp(b.name())
+            .then_with(|| a.height().cmp(&b.height()))
+            .then_with(|| a.width().cmp(&b.width()))
+            .then_with(|| {
+                (0..=a.height())
+                    .map(|i| cmp_masked(a.storage_row(i), b.storage_row(i)))
+                    .find(|c| *c != Ordering::Equal)
+                    .unwrap_or(Ordering::Equal)
+            })
+    });
+    let mut mapping: HashMap<Symbol, Symbol> = HashMap::new();
+    let mut renumber = |s: Symbol| -> Symbol {
+        if !is_fresh(s) {
+            return s;
+        }
+        let n = mapping.len();
+        *mapping.entry(s).or_insert_with(|| {
+            let text = format!("fresh#{n}");
+            if s.is_name() {
+                Symbol::name(&text)
+            } else {
+                Symbol::value(&text)
+            }
+        })
+    };
+    let renumbered: Vec<Table> = tables
+        .iter()
+        .map(|t| t.map_symbols(&mut renumber))
+        .collect();
+    Database::from_tables(renumbered).canonicalize()
+}
+
+// ----------------------------------------------------------------------
+// Program generation
+// ----------------------------------------------------------------------
+
+const TARGETS: [&str; 5] = ["R", "S", "T", "U", "V"];
+const SOURCES: [&str; 6] = ["R", "S", "T", "U", "V", "W"];
+const ATTRS: [&str; 4] = ["A", "B", "C", "D"];
+
+/// One random ground assignment, as concrete syntax. Covers the
+/// traditional, restructuring, transposition, redundancy, and tagging
+/// layers; every parameter is a literal name or value, so loop bodies
+/// stay eligible for delta evaluation (except when `TUPLENEW` lands in
+/// them, which is the fallback case the oracle also wants to hit).
+fn arb_stmt() -> impl Strategy<Value = String> {
+    (
+        0usize..17,
+        0usize..5,
+        0usize..6,
+        0usize..6,
+        0usize..4,
+        0usize..4,
+    )
+        .prop_map(|(op, t, x, y, a, b)| {
+            let (t, x, y) = (TARGETS[t], SOURCES[x], SOURCES[y]);
+            let (a, b) = (ATTRS[a], ATTRS[b]);
+            match op {
+                0 => format!("{t} <- UNION({x}, {y})"),
+                1 => format!("{t} <- DIFFERENCE({x}, {y})"),
+                2 => format!("{t} <- INTERSECT({x}, {y})"),
+                3 => format!("{t} <- PRODUCT({x}, {y})"),
+                4 => format!("{t} <- COPY({x})"),
+                5 => format!("{t} <- CLASSICALUNION({x}, {y})"),
+                6 => format!("{t} <- SELECT[{a} = {b}]({x})"),
+                7 => format!("{t} <- SELECTCONST[{a} = v:v{y}]({x})"),
+                8 => format!("{t} <- PROJECT[{{{a}, {b}}}]({x})"),
+                9 => format!("{t} <- RENAME[{a} -> {b}]({x})"),
+                10 => format!("{t} <- TRANSPOSE({x})"),
+                11 => format!("{t} <- CLEANUP[by {{{a}}} on {{{b}}}]({x})"),
+                12 => format!("{t} <- PURGE[on {{{a}}} by {{{b}}}]({x})"),
+                13 => format!("{t} <- GROUP[by {{{a}}} on {{{b}}}]({x})"),
+                14 => format!("{t} <- MERGE[on {{{a}}} by {{{b}}}]({x})"),
+                15 => format!("{t} <- SPLIT[on {{{a}}}]({x})"),
+                _ => format!("{t} <- TUPLENEW[Tg]({x})"),
+            }
+        })
+}
+
+/// A whole program: prologue, a `while W` loop whose body is a mix of
+/// generated statements, optionally a nested inner loop (forcing the
+/// naive fallback), and a countdown making the loop run `steps + 1`
+/// iterations — or no countdown at all (`steps == 0` with `diverge`),
+/// leaving termination to `max_while_iters`.
+fn arb_program() -> impl Strategy<Value = String> {
+    let stmts = |n| proptest::collection::vec(arb_stmt(), n);
+    (
+        stmts(0..3usize),
+        stmts(1..6usize),
+        stmts(0..3usize),
+        0usize..4,
+        0usize..8,
+        stmts(0..2usize),
+    )
+        .prop_map(|(prologue, body, inner, steps, chaos, epilogue)| {
+            let mut lines = prologue;
+            lines.push("while W do".into());
+            lines.extend(body);
+            if !inner.is_empty() {
+                lines.push("while X do".into());
+                lines.extend(inner);
+                lines.push("X <- DIFFERENCE(X, X)".into());
+                lines.push("end".into());
+            }
+            let diverge = chaos == 0;
+            if !diverge {
+                for i in (1..=steps).rev() {
+                    let prev = if i == steps {
+                        "Wend".to_string()
+                    } else {
+                        format!("Wcnt{}", i + 1)
+                    };
+                    lines.push(format!("Wcnt{i} <- COPY({prev})"));
+                }
+                let first = if steps == 0 {
+                    "Wend".into()
+                } else {
+                    "Wcnt1".to_string()
+                };
+                lines.push(format!("W <- COPY({first})"));
+                lines.push("Wend <- DIFFERENCE(Wend, Wend)".into());
+            }
+            lines.push("end".into());
+            lines.extend(epilogue);
+            lines.join("\n")
+        })
+}
+
+/// A small input database: two relational tables sharing attribute `B`,
+/// two more overlapping tables, an empty one, and the loop counters.
+fn arb_input() -> impl Strategy<Value = Database> {
+    let rel = |max: usize| proptest::collection::vec((0usize..4, 0usize..4), 0..max);
+    (rel(6), rel(6), rel(4), rel(4)).prop_map(|(r, s, t, u)| {
+        let table = |name: &str, attrs: [&str; 2], rows: &[(usize, usize)]| {
+            let tuples: Vec<Vec<Symbol>> = rows
+                .iter()
+                .map(|(a, b)| {
+                    vec![
+                        Symbol::value(&format!("v{a}")),
+                        Symbol::value(&format!("v{b}")),
+                    ]
+                })
+                .collect();
+            Table::relational_syms(
+                Symbol::name(name),
+                &[Symbol::name(attrs[0]), Symbol::name(attrs[1])],
+                &tuples,
+            )
+        };
+        let counter = |name: &str| Table::relational(name, &["K"], &[&["go"]]);
+        Database::from_tables([
+            table("R", ["A", "B"], &r),
+            table("S", ["B", "C"], &s),
+            table("T", ["C", "D"], &t),
+            table("U", ["A", "C"], &u),
+            Table::relational("V", &["D"], &[]),
+            counter("W"),
+            counter("X"),
+            counter("Wend"),
+            counter("Wcnt1"),
+            counter("Wcnt2"),
+            counter("Wcnt3"),
+        ])
+    })
+}
+
+// ----------------------------------------------------------------------
+// The oracle
+// ----------------------------------------------------------------------
+
+fn limits(strategy: WhileStrategy, parallel_threshold: usize) -> EvalLimits {
+    EvalLimits {
+        max_while_iters: 6,
+        max_cells: 20_000,
+        max_tables: 64,
+        while_strategy: strategy,
+        parallel_threshold,
+        ..EvalLimits::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn strategies_and_sharding_agree(src in arb_program(), db in arb_input()) {
+        let program = parse(&src).unwrap_or_else(|e| {
+            panic!("generated program must parse: {e}\n{src}")
+        });
+        let configs = [
+            limits(WhileStrategy::Naive, usize::MAX),
+            limits(WhileStrategy::Naive, 1),
+            limits(WhileStrategy::Delta, usize::MAX),
+            limits(WhileStrategy::Delta, 1),
+        ];
+        let baseline = run(&program, &db, &configs[0]);
+        let canon_base = baseline.as_ref().map(canonicalize_fresh);
+        for cfg in &configs[1..] {
+            let out = run(&program, &db, cfg);
+            match (&canon_base, &out) {
+                (Ok(expect), Ok(got)) => {
+                    let got = canonicalize_fresh(got);
+                    prop_assert!(
+                        *expect == got,
+                        "outputs diverge under {:?}/threshold {}\nprogram:\n{}\nbaseline:\n{}\ngot:\n{}",
+                        cfg.while_strategy, cfg.parallel_threshold, src, expect, got
+                    );
+                }
+                (Err(expect), Err(got)) => {
+                    prop_assert_eq!(
+                        expect.to_string(),
+                        got.to_string(),
+                        "errors diverge under {:?}/threshold {} for program:\n{}",
+                        cfg.while_strategy, cfg.parallel_threshold, src
+                    );
+                }
+                (Ok(_), Err(got)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "baseline succeeded but {:?}/threshold {} failed with {got}\nprogram:\n{}",
+                        cfg.while_strategy, cfg.parallel_threshold, src
+                    )));
+                }
+                (Err(expect), Ok(_)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "baseline failed with {expect} but {:?}/threshold {} succeeded\nprogram:\n{}",
+                        cfg.while_strategy, cfg.parallel_threshold, src
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// The oracle's comparison itself must identify two independent runs of a
+/// tagging program (fresh tags differ, structure does not).
+#[test]
+fn fresh_canonicalization_identifies_independent_taggings() {
+    let db = Database::from_tables([Table::relational(
+        "R",
+        &["A", "B"],
+        &[&["1", "x"], &["2", "y"]],
+    )]);
+    let p = parse("T <- TUPLENEW[Tag](R)").unwrap();
+    let l = limits(WhileStrategy::Naive, usize::MAX);
+    let run1 = run(&p, &db, &l).unwrap();
+    let run2 = run(&p, &db, &l).unwrap();
+    assert_ne!(run1.canonicalize(), run2.canonicalize(), "tags must differ");
+    assert_eq!(canonicalize_fresh(&run1), canonicalize_fresh(&run2));
+}
+
+/// And it must still distinguish genuinely different databases.
+#[test]
+fn fresh_canonicalization_is_not_trivial() {
+    let a = Database::from_tables([Table::relational("R", &["A"], &[&["1"]])]);
+    let b = Database::from_tables([Table::relational("R", &["A"], &[&["2"]])]);
+    assert_ne!(canonicalize_fresh(&a), canonicalize_fresh(&b));
+}

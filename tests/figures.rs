@@ -218,7 +218,10 @@ fn fig3_union_difference_product() {
 fn fig4_group_exact() {
     let p = parse("Sales <- GROUP[by {Region} on {Sold}](Sales)").unwrap();
     let out = run(&p, &fixtures::sales_info1(), &limits()).unwrap();
-    assert_eq!(out.table_str("Sales").unwrap(), &fixtures::figure4_grouped());
+    assert_eq!(
+        out.table_str("Sales").unwrap(),
+        &fixtures::figure4_grouped()
+    );
 }
 
 #[test]

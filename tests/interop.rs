@@ -37,8 +37,7 @@ fn grand_round_trip() {
     let decoded = decode(&rep).unwrap();
     assert!(decoded.equiv(&tabular));
     let rel_again =
-        RelDatabase::from_tabular(&decoded, &[Symbol::name("sales"), Symbol::name("hot")])
-            .unwrap();
+        RelDatabase::from_tabular(&decoded, &[Symbol::name("sales"), Symbol::name("hot")]).unwrap();
     assert!(rel_again.equiv(&rel_db));
 }
 
@@ -109,7 +108,11 @@ fn pivot_four_ways() {
     )
     .unwrap();
     let fed_out = fed.run_program(&fed_program, "main", &limits).unwrap();
-    let via_fed = fed_out.member("branch").unwrap().table_str("Sales").unwrap();
+    let via_fed = fed_out
+        .member("branch")
+        .unwrap()
+        .table_str("Sales")
+        .unwrap();
 
     assert!(via_olap.equiv(&via_baseline));
     assert!(via_olap.equiv(via_text));

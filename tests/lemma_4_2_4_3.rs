@@ -48,11 +48,7 @@ fn rep_size_is_linear_in_occurrences() {
     // |Data| = Σ m·n; |Map| = Σ (1 + m + n + m·n).
     let db = fixtures::make_sales_info4(7, 5);
     let rep = encode(&db);
-    let expected_data: usize = db
-        .tables()
-        .iter()
-        .map(|t| t.height() * t.width())
-        .sum();
+    let expected_data: usize = db.tables().iter().map(|t| t.height() * t.width()).sum();
     let expected_map: usize = db
         .tables()
         .iter()
@@ -103,8 +99,8 @@ fn ta_encode_program_round_trips_relational_schemes() {
             &EvalLimits::default(),
         )
         .unwrap();
-        let rep = RelDatabase::from_tabular(&out, &[Symbol::name("Data"), Symbol::name("Map")])
-            .unwrap();
+        let rep =
+            RelDatabase::from_tabular(&out, &[Symbol::name("Data"), Symbol::name("Map")]).unwrap();
         assert_eq!(check_fds(&rep), None);
         let back = decode(&rep).unwrap();
         assert!(back.equiv(&db), "{parts}×{regions}");

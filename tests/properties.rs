@@ -171,6 +171,73 @@ proptest! {
     }
 
     #[test]
+    fn merge_inverts_group_on_cleaned_tables(t in arb_fact_table()) {
+        // Figure 4/5 round trip, property-style. The paper notes the
+        // merged-back table "yields a representation of the table, but
+        // which is even more uneconomical": the grouping pads sparse
+        // (K, C) combinations with ⊥-rows that survive clean-up, so the
+        // round trip holds up to *weak equivalence* (mutual row
+        // subsumption), the paper's notion of same information content.
+        let by = SymbolSet::from_iter([Symbol::name("C")]);
+        let on = SymbolSet::from_iter([Symbol::name("M")]);
+        let g = ops::group(&t, &by, &on, Symbol::name("G"));
+        let m = ops::merge(&g, &on, &by, Symbol::name("M2"));
+        let purged = ops::purge(&m, &m.scheme(), &SymbolSet::new(), t.name());
+        let cleaned = ops::cleanup(&purged, &purged.scheme(), &purged.row_scheme(), t.name());
+        for i in 1..=t.height() {
+            prop_assert!(
+                (1..=cleaned.height()).any(|k| t.row_subsumed_by(i, &cleaned, k)),
+                "original row {i} lost by merge ∘ group:\noriginal:\n{t}\nrecovered:\n{cleaned}"
+            );
+        }
+        for k in 1..=cleaned.height() {
+            // Rows with ⊥ under M are the grouping's padding for sparse
+            // (K, C) combinations — carrying no information, they are
+            // weakly below everything and exempt from soundness.
+            let m_entries = cleaned.row_entries_named(k, Symbol::name("M"));
+            if m_entries.iter().all(|s| s.is_null()) {
+                continue;
+            }
+            prop_assert!(
+                (1..=t.height()).any(|i| cleaned.row_subsumed_by(k, &t, i)),
+                "merge ∘ group invented row {k}:\noriginal:\n{t}\nrecovered:\n{cleaned}"
+            );
+        }
+    }
+
+    #[test]
+    fn collapse_inverts_split_on_cleaned_tables(t in arb_fact_table()) {
+        let on = SymbolSet::from_iter([Symbol::name("C")]);
+        let parts = ops::split(&t, &on, t.name());
+        let refs: Vec<&Table> = parts.iter().collect();
+        let collapsed = ops::collapse(&refs, &on, t.name());
+        let purged = ops::purge(&collapsed, &collapsed.scheme(), &SymbolSet::new(), t.name());
+        let cleaned = ops::cleanup(&purged, &purged.scheme(), &purged.row_scheme(), t.name());
+        prop_assert!(
+            cleaned.equiv(&t.dedup_rows()),
+            "collapse ∘ split failed to round-trip:\noriginal:\n{t}\nrecovered:\n{cleaned}"
+        );
+    }
+
+    #[test]
+    fn transpose_round_trips_on_cleaned_tables(t in arb_table()) {
+        // The involution holds on any table; on a cleaned table the
+        // cleaned form is preserved as well (clean-up and transposition
+        // commute through the purge duality).
+        let cleaned = ops::cleanup(&t, &t.scheme(), &t.row_scheme(), t.name());
+        prop_assert_eq!(cleaned.transpose().transpose(), cleaned);
+    }
+
+    #[test]
+    fn purge_is_idempotent(t in arb_table()) {
+        let on = t.scheme();
+        let by = t.row_scheme();
+        let once = ops::purge(&t, &on, &by, t.name());
+        let twice = ops::purge(&once, &on, &by, t.name());
+        prop_assert_eq!(&once, &twice, "purge not idempotent on:\n{}", t);
+    }
+
+    #[test]
     fn cleanup_is_idempotent_and_shrinking(t in arb_table()) {
         let by = t.scheme();
         let on = t.row_scheme();

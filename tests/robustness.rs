@@ -128,6 +128,83 @@ fn interpreter_limits_hold() {
     assert!(run(&p, &wide, &tight).is_err());
 }
 
+/// The delta `while` strategy enforces the same limits as the naive one —
+/// the same typed error, with the same numbers, at the same point — under
+/// both serial and fully-sharded execution.
+#[test]
+fn delta_limits_match_naive_across_shard_configs() {
+    use tables_paradigm::algebra::parser::parse;
+
+    let limits = |strategy, parallel_threshold| EvalLimits {
+        max_while_iters: 3,
+        max_cells: 200,
+        while_strategy: strategy,
+        parallel_threshold,
+        ..EvalLimits::default()
+    };
+    let configs = [
+        (WhileStrategy::Naive, usize::MAX),
+        (WhileStrategy::Naive, 1),
+        (WhileStrategy::Delta, usize::MAX),
+        (WhileStrategy::Delta, 1),
+    ];
+
+    // A delta-safe diverging body: `R` never changes, so the delta engine
+    // skips the statement on every pass after the first — iterations must
+    // still count toward `max_while_iters`.
+    let db = Database::from_tables([Table::relational("R", &["A"], &[&["1"], &["2"]])]);
+    let p = parse("while R do R <- COPY(R) end").unwrap();
+    let errs: Vec<String> = configs
+        .iter()
+        .map(|&(s, t)| run(&p, &db, &limits(s, t)).unwrap_err().to_string())
+        .collect();
+    assert!(errs[0].contains("while iterations"), "{}", errs[0]);
+    assert!(errs[0].contains("> 3"), "{}", errs[0]);
+    assert!(errs.iter().all(|e| e == &errs[0]), "{errs:?}");
+
+    // A delta-safe body whose table doubles in width every iteration:
+    // the cell budget must trip mid-loop, identically everywhere.
+    let p = parse("while R do R <- PRODUCT(R, R) end").unwrap();
+    let errs: Vec<String> = configs
+        .iter()
+        .map(|&(s, t)| run(&p, &db, &limits(s, t)).unwrap_err().to_string())
+        .collect();
+    assert!(errs[0].contains("cells per table"), "{}", errs[0]);
+    assert!(errs[0].contains("> 200"), "{}", errs[0]);
+    assert!(errs.iter().all(|e| e == &errs[0]), "{errs:?}");
+
+    // Table-count flooding inside a loop: SPLIT is delta-safe, and the
+    // `max_tables` check must fire mid-loop under the shard pool too.
+    let wide = Database::from_tables([Table::relational(
+        "R",
+        &["A", "B"],
+        &[
+            &["1", "x"],
+            &["2", "x"],
+            &["3", "x"],
+            &["4", "x"],
+            &["5", "x"],
+            &["6", "x"],
+            &["7", "x"],
+            &["8", "x"],
+            &["9", "x"],
+        ],
+    )]);
+    let tight_tables = |strategy, parallel_threshold| EvalLimits {
+        max_tables: 8,
+        while_strategy: strategy,
+        parallel_threshold,
+        ..limits(strategy, parallel_threshold)
+    };
+    let p = parse("while R do T <- SPLIT[on {A}](R) end").unwrap();
+    let errs: Vec<String> = configs
+        .iter()
+        .map(|&(s, t)| run(&p, &wide, &tight_tables(s, t)).unwrap_err().to_string())
+        .collect();
+    assert!(errs[0].contains("tables in database"), "{}", errs[0]);
+    assert!(errs.iter().all(|e| e == &errs[0]), "{errs:?}");
+}
+
 /// Errors surface as typed values with useful messages end to end.
 #[test]
 fn error_messages_are_actionable() {
@@ -139,11 +216,7 @@ fn error_messages_are_actionable() {
     assert!(err.to_string().contains("exactly one symbol"), "{err}");
 
     // Arity mismatch reported with the operation name.
-    let bad = Program::new().assign(
-        Param::name("T"),
-        OpKind::Union,
-        vec![Param::name("Sales")],
-    );
+    let bad = Program::new().assign(Param::name("T"), OpKind::Union, vec![Param::name("Sales")]);
     let err = run(&bad, &db, &EvalLimits::default()).unwrap_err();
     assert!(err.to_string().contains("UNION"), "{err}");
 }

@@ -122,9 +122,8 @@ fn new_values_agree_up_to_isomorphism() {
         .new_ids("Tagged", "R", "Id")
         .assign("Out", RelExpr::rel("Tagged").project(&["A", "Id"]));
     let direct = canonicalize_fresh(&p.run(&db, 100).unwrap());
-    let via_ta = canonicalize_fresh(
-        &run_compiled(&p, &db, &["Out"], &EvalLimits::default()).unwrap(),
-    );
+    let via_ta =
+        canonicalize_fresh(&run_compiled(&p, &db, &["Out"], &EvalLimits::default()).unwrap());
     assert!(direct
         .get_str("Out")
         .unwrap()

@@ -15,11 +15,7 @@ fn transformations_agree_between_native_and_ta_pipelines() {
     for t in [rename_tables("Sales", "Orders"), transpose_all()] {
         let native = t.apply(&db, 1000).unwrap();
         let via_ta = t.apply_via_ta(&db, &EvalLimits::default()).unwrap();
-        assert!(
-            native.equiv(&via_ta),
-            "{}: native vs TA mismatch",
-            t.label
-        );
+        assert!(native.equiv(&via_ta), "{}: native vs TA mismatch", t.label);
     }
 }
 
@@ -81,12 +77,8 @@ fn condition_ii_permutation_invariance() {
     let rel = fixtures::sales_relation();
     let permuted = rel.select_rows(&[3, 1, 4, 2, 8, 6, 7, 5]);
     let t = rename_tables("Sales", "Orders");
-    let a = t
-        .apply(&Database::from_tables([rel]), 1000)
-        .unwrap();
-    let b = t
-        .apply(&Database::from_tables([permuted]), 1000)
-        .unwrap();
+    let a = t.apply(&Database::from_tables([rel]), 1000).unwrap();
+    let b = t.apply(&Database::from_tables([permuted]), 1000).unwrap();
     assert!(a.equiv(&b));
 }
 

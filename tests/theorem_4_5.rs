@@ -50,20 +50,14 @@ fn querying_and_restructuring_programs() {
         &sales_db(),
     );
     // Attribute-variable restructuring (metadata as data).
-    agree(
-        "attrs[T : name -> A] :- sales[T : A -> V].",
-        &sales_db(),
-    );
+    agree("attrs[T : name -> A] :- sales[T : A -> V].", &sales_db());
     // Dynamic heads: relation-per-region (the SchemaLog SPLIT).
     agree(
         "R[T : part -> P] :- sales[T : region -> R], sales[T : part -> P].",
         &sales_db(),
     );
     // Attribute transposition: swap attr and value roles.
-    agree(
-        "swapped[T : V -> A] :- sales[T : A -> V].",
-        &sales_db(),
-    );
+    agree("swapped[T : V -> A] :- sales[T : A -> V].", &sales_db());
 }
 
 #[test]
@@ -121,8 +115,7 @@ fn randomized_inputs() {
 fn fo_and_ta_layers_agree() {
     // The two halves of the reduction (rules → FO, FO → TA) individually
     // preserve semantics.
-    let p = sl_parse("R[T : part -> P] :- sales[T : region -> R], sales[T : part -> P].")
-        .unwrap();
+    let p = sl_parse("R[T : part -> P] :- sales[T : region -> R], sales[T : part -> P].").unwrap();
     let input = sales_db();
     let via_fo = run_fo(&p, &input, 10_000).unwrap();
     let via_ta = run_translated(&p, &input, &EvalLimits::default()).unwrap();
@@ -153,7 +146,11 @@ fn outputs_reassemble_into_relations() {
 fn schemalog_expresses_figure1_restructurings() {
     // Per-region relations (SalesInfo4 shape, lowercase) → one relation.
     let db = RelDatabase::from_relations([
-        Relation::new("east", &["part", "sold"], &[&["nuts", "50"], &["bolts", "70"]]),
+        Relation::new(
+            "east",
+            &["part", "sold"],
+            &[&["nuts", "50"], &["bolts", "70"]],
+        ),
         Relation::new("west", &["part", "sold"], &[&["nuts", "60"]]),
         // Relation *names* are stored as name-sorted symbols (`n:` tag):
         // SchemaLog's first-class names made explicit in the two-sorted

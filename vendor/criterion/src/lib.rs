@@ -1,0 +1,235 @@
+//! Offline shim for the subset of `criterion` used by this workspace's
+//! benches: `Criterion::default().sample_size(n)`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! and `Bencher::iter`, wired up by `criterion_group!`/`criterion_main!`.
+//!
+//! Measurement model: each benchmark runs one warm-up invocation, then
+//! `sample_size` timed invocations, and reports min/mean over them on
+//! stdout. When the binary is invoked by `cargo test` (cargo passes
+//! `--test`, and plain `cargo test` passes filter/`--quiet` style args),
+//! every benchmark runs exactly once so the suite stays fast.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// True when the binary should only smoke-run each benchmark once.
+/// `cargo bench` passes `--bench` to the target; anything else (notably
+/// `cargo test`, which passes `--test` or nothing) gets the quick mode,
+/// as does an explicit `CRITERION_QUICK` in the environment.
+fn quick_mode() -> bool {
+    let bench = std::env::args().any(|a| a == "--bench");
+    let test = std::env::args().any(|a| a == "--test");
+    !bench || test || std::env::var_os("CRITERION_QUICK").is_some()
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&id.to_string(), self.sample_size, &mut f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Bencher {
+    /// Duration of each sampled invocation of the `iter` closure.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up invocation, unmeasured.
+        std_black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let samples = if quick_mode() { 1 } else { sample_size };
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(samples),
+        sample_size: samples,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench {label:<50} (no iterations)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "bench {label:<50} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+        mean,
+        min,
+        bencher.samples.len()
+    );
+}
+
+/// Mirrors criterion's macro: defines a function that runs every target
+/// with the given configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors criterion's macro: the bench binary's `main` runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+        };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(count, 6, "warm-up plus five samples");
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(3))
+            .bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &n| {
+                b.iter(|| n * n);
+            })
+            .bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7 * 7));
+        g.finish();
+        c.bench_function("top-level", |b| b.iter(|| 1 + 1));
+    }
+}

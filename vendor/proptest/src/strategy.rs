@@ -1,0 +1,373 @@
+//! Value-generation strategies: the composable core of the shim.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of an associated type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it induces.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+trait DynStrategy<V> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Weighted choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut roll = rng.below64(self.total);
+        for (weight, arm) in &self.arms {
+            let w = u64::from(*weight);
+            if roll < w {
+                return arm.generate(rng);
+            }
+            roll -= w;
+        }
+        unreachable!("weighted roll exceeded total weight")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below64(span) as $t)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty");
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(rng.below64(span.wrapping_add(1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<char> {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        assert!(lo < hi, "strategy range is empty");
+        loop {
+            if let Some(c) = char::from_u32(lo + rng.below64(u64::from(hi - lo)) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategies: `"t[a-z0-9]{0,6}"` et al.
+// ---------------------------------------------------------------------
+
+/// One pattern element: a literal character or a character class.
+enum Atom {
+    Lit(char),
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the regex subset used by the workspace's tests: literal
+/// characters, `\x` escapes, `[...]` classes with ranges and escapes, and
+/// `{m}` / `{m,n}` counted repetition. Anything else is rejected loudly.
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut members = Vec::new();
+                loop {
+                    let m = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    match m {
+                        ']' => break,
+                        '\\' => {
+                            members.push(unescape(chars.next().expect("dangling escape in class")))
+                        }
+                        _ => {
+                            if chars.peek() == Some(&'-')
+                                && chars.clone().nth(1).is_some_and(|x| x != ']')
+                            {
+                                chars.next();
+                                let hi = match chars.next().expect("unterminated range") {
+                                    '\\' => unescape(chars.next().expect("dangling escape")),
+                                    other => other,
+                                };
+                                assert!(m <= hi, "inverted class range in {pattern:?}");
+                                members.extend(m..=hi);
+                            } else {
+                                members.push(m);
+                            }
+                        }
+                    }
+                }
+                assert!(!members.is_empty(), "empty class in {pattern:?}");
+                Atom::Class(members)
+            }
+            '\\' => Atom::Lit(unescape(chars.next().expect("dangling escape"))),
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '$' | '^' => {
+                panic!("unsupported regex feature {c:?} in pattern {pattern:?}")
+            }
+            _ => Atom::Lit(c),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next().expect("unterminated repetition") {
+                    '}' => break,
+                    d => spec.push(d),
+                }
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition bound"),
+                    hi.trim().parse().expect("bad repetition bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = piece.min + rng.below(piece.max - piece.min + 1);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(members) => out.push(members[rng.below(members.len())]),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (3u8..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (0usize..1).generate(&mut r);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let s = (1usize..4)
+            .prop_flat_map(|n| crate::collection::vec(0u8..10, n).prop_map(move |v| (n, v)));
+        for _ in 0..200 {
+            let (n, v) = s.generate(&mut r);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let mut r = rng();
+        let s = Union::new(vec![(9, Just(true).boxed()), (1, Just(false).boxed())]);
+        let hits = (0..1000).filter(|_| s.generate(&mut r)).count();
+        assert!((700..1000).contains(&hits), "weighted arm hit {hits}/1000");
+    }
+
+    #[test]
+    fn string_patterns_match_their_own_grammar() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "t[a-z0-9]{0,6}".generate(&mut r);
+            assert!(s.starts_with('t') && s.len() <= 7);
+            assert!(s[1..]
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+            let c = "[A-Z][a-z0-9]{0,6}".generate(&mut r);
+            assert!(c.chars().next().unwrap().is_ascii_uppercase());
+
+            let esc = "[A-Za-z0-9_<\\-\\(\\)\\[\\]\\{\\},\\\\*:=\" \n]{0,80}".generate(&mut r);
+            assert!(esc.len() <= 80);
+        }
+    }
+
+    #[test]
+    fn exact_repetition_counts() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!("[ab]{4}".generate(&mut r).len(), 4);
+        }
+    }
+}

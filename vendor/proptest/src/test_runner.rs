@@ -1,0 +1,237 @@
+//! The shim's test driver: deterministic RNG, run configuration, and the
+//! case loop with rejection retries (no shrinking).
+
+use crate::strategy::Strategy;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// SplitMix64-backed RNG used by all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        self.below64(n as u64) as usize
+    }
+
+    /// Uniform draw from `0..n` (`n > 0`), 64-bit.
+    pub fn below64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below: empty range");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// Run configuration. Mirrors the reference crate's field names for the
+/// struct-update syntax (`Config { cases: 64, ..Default::default() }`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+    /// Upper bound on rejected (`prop_assume!`) cases across the run.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case asked to be discarded (`prop_assume!`); retried.
+    Reject(String),
+    /// The case failed (`prop_assert!`); aborts the run.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// Why the whole run failed.
+pub enum TestError<V> {
+    /// A case failed; carries the reason and the generated input.
+    Fail(String, V),
+    /// The run could not complete (e.g. rejection budget exhausted).
+    Abort(String),
+}
+
+impl<V: fmt::Debug> fmt::Debug for TestError<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestError::Fail(reason, value) => {
+                write!(f, "test failed: {reason}\nminimal-effort input: {value:#?}")
+            }
+            TestError::Abort(reason) => write!(f, "test aborted: {reason}"),
+        }
+    }
+}
+
+/// Per-process counter so distinct runners explore distinct sequences.
+static RUNNER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    pub fn new(config: Config) -> Self {
+        let base = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse().unwrap_or(0xC0FF_EE00_D15E_A5E5),
+            Err(_) => 0xC0FF_EE00_D15E_A5E5,
+        };
+        let seq = RUNNER_SEQ.fetch_add(1, Ordering::Relaxed);
+        TestRunner {
+            config,
+            rng: TestRng::new(base ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) -> Result<(), TestError<S::Value>>
+    where
+        S::Value: Clone,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            match test(value.clone()) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        return Err(TestError::Abort(format!(
+                            "too many rejected cases ({rejected}) after {passed} passes"
+                        )));
+                    }
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    return Err(TestError::Fail(
+                        format!("{reason} (after {passed} passing cases)"),
+                        value,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_counts_only_passing_cases() {
+        let mut runner = TestRunner::new(Config {
+            cases: 50,
+            ..Default::default()
+        });
+        let attempts = std::cell::Cell::new(0u32);
+        runner
+            .run(&(0u8..100), |v| {
+                attempts.set(attempts.get() + 1);
+                if v % 2 == 0 {
+                    Err(TestCaseError::reject("odd only"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap();
+        assert!(
+            attempts.get() >= 50,
+            "ran at least `cases` attempts, got {}",
+            attempts.get()
+        );
+    }
+
+    #[test]
+    fn failures_carry_reason_and_value() {
+        let mut runner = TestRunner::new(Config {
+            cases: 10,
+            ..Default::default()
+        });
+        let err = runner
+            .run(&(5u8..6), |v| {
+                Err(TestCaseError::fail(format!("boom on {v}")))
+            })
+            .unwrap_err();
+        match err {
+            TestError::Fail(reason, value) => {
+                assert!(reason.contains("boom"));
+                assert_eq!(value, 5);
+            }
+            TestError::Abort(_) => panic!("expected failure, not abort"),
+        }
+    }
+
+    #[test]
+    fn exhausted_rejections_abort() {
+        let mut runner = TestRunner::new(Config {
+            cases: 10,
+            max_global_rejects: 20,
+        });
+        let err = runner
+            .run(&(0u8..10), |_| Err(TestCaseError::reject("never")))
+            .unwrap_err();
+        assert!(matches!(err, TestError::Abort(_)));
+    }
+
+    #[test]
+    fn seeding_is_deterministic_per_sequence() {
+        let mut a = TestRng::new(1);
+        let mut b = TestRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

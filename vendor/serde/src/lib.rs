@@ -1,0 +1,288 @@
+//! Offline shim for the subset of `serde` used by this workspace: the
+//! `Serialize`/`Deserialize` trait vocabulary with sequence and string
+//! support, enough for the manual impls in `tabular-core::serde_impl`
+//! (tables as grids of strings, databases as sequences of tables).
+//!
+//! The data model is deliberately tiny — strings and sequences — because
+//! that is the entire wire vocabulary the workspace serializes. Any
+//! concrete format adapter implements [`ser::Serializer`] /
+//! [`de::Deserializer`] over it (see the in-crate `value` test module for
+//! a reference implementation).
+
+use std::fmt;
+
+pub mod ser {
+    use super::Serialize;
+
+    pub trait Error: Sized + std::fmt::Debug {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    pub trait SerializeSeq {
+        type Ok;
+        type Error: Error;
+
+        fn serialize_element<T: ?Sized + Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    }
+}
+
+pub mod de {
+    use std::fmt;
+
+    pub trait Error: Sized + fmt::Debug {
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    pub trait SeqAccess<'de> {
+        type Error: Error;
+
+        fn next_element<T: super::Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+
+        fn size_hint(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    pub trait Visitor<'de>: Sized {
+        type Value;
+
+        fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+            Err(E::custom(Expected(&self)))
+        }
+
+        fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+            self.visit_str(&v)
+        }
+
+        fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+            Err(A::Error::custom(Expected(&self)))
+        }
+    }
+
+    struct Expected<'a, V>(&'a V);
+
+    impl<'de, V: Visitor<'de>> fmt::Display for Expected<'_, V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "invalid type: expected ")?;
+            self.0.expecting(f)
+        }
+    }
+
+    pub trait Deserializer<'de>: Sized {
+        type Error: Error;
+
+        fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    }
+}
+
+pub trait Serialize {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+
+impl Serialize for str {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq;
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = String;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+        }
+        deserializer.deserialize_string(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> de::Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+
+            fn visit_seq<A: de::SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(std::marker::PhantomData))
+    }
+}
+
+#[cfg(test)]
+mod value {
+    //! A reference format adapter over the shim's data model, used to
+    //! smoke-test the trait plumbing end to end.
+
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Value {
+        Str(String),
+        Seq(Vec<Value>),
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct VError(String);
+
+    impl ser::Error for VError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            VError(msg.to_string())
+        }
+    }
+
+    impl de::Error for VError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            VError(msg.to_string())
+        }
+    }
+
+    struct ValueSerializer;
+
+    struct SeqSerializer(Vec<Value>);
+
+    impl ser::SerializeSeq for SeqSerializer {
+        type Ok = Value;
+        type Error = VError;
+
+        fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), VError> {
+            self.0.push(value.serialize(ValueSerializer)?);
+            Ok(())
+        }
+
+        fn end(self) -> Result<Value, VError> {
+            Ok(Value::Seq(self.0))
+        }
+    }
+
+    impl ser::Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = VError;
+        type SerializeSeq = SeqSerializer;
+
+        fn serialize_str(self, v: &str) -> Result<Value, VError> {
+            Ok(Value::Str(v.to_owned()))
+        }
+
+        fn serialize_seq(self, len: Option<usize>) -> Result<SeqSerializer, VError> {
+            Ok(SeqSerializer(Vec::with_capacity(len.unwrap_or(0))))
+        }
+    }
+
+    struct ValueDeserializer(Value);
+
+    struct SeqDeserializer(std::vec::IntoIter<Value>);
+
+    impl<'de> de::SeqAccess<'de> for SeqDeserializer {
+        type Error = VError;
+
+        fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, VError> {
+            match self.0.next() {
+                None => Ok(None),
+                Some(v) => T::deserialize(ValueDeserializer(v)).map(Some),
+            }
+        }
+    }
+
+    impl<'de> de::Deserializer<'de> for ValueDeserializer {
+        type Error = VError;
+
+        fn deserialize_string<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, VError> {
+            match self.0 {
+                Value::Str(s) => visitor.visit_string(s),
+                Value::Seq(_) => Err(de::Error::custom("expected string, found seq")),
+            }
+        }
+
+        fn deserialize_seq<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, VError> {
+            match self.0 {
+                Value::Seq(items) => visitor.visit_seq(SeqDeserializer(items.into_iter())),
+                Value::Str(_) => Err(de::Error::custom("expected seq, found string")),
+            }
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_strings_round_trips() {
+        let grid: Vec<Vec<String>> =
+            vec![vec!["T".into(), "A".into()], vec!["_".into(), "1".into()]];
+        let value = grid.serialize(ValueSerializer).unwrap();
+        let back: Vec<Vec<String>> = Deserialize::deserialize(ValueDeserializer(value)).unwrap();
+        assert_eq!(back, grid);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error_not_a_panic() {
+        let value = Value::Str("not a seq".into());
+        let r: Result<Vec<String>, VError> = Deserialize::deserialize(ValueDeserializer(value));
+        assert!(r.is_err());
+    }
+}
