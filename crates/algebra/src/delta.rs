@@ -31,14 +31,15 @@
 
 use crate::error::{AlgebraError, Result};
 use crate::eval::{
-    check_results, check_table_count, compute_results, replace_results, EvalLimits, EvalStats,
+    check_results, check_table_count, compute_results, replace_results, table_cells, EvalLimits,
 };
+use crate::obs::metrics::Metrics;
+use crate::obs::trace::{DeltaDecision, SpanKind};
 use crate::ops;
 use crate::param::{Item, Param};
 use crate::pool::LazyPool;
 use crate::program::{Assignment, OpKind, Statement};
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 use tabular_core::{Database, Symbol, SymbolSet, Table};
 
 /// How a committed assignment changed its target's table group.
@@ -65,10 +66,20 @@ struct AppendInfo {
     base_height: usize,
 }
 
-/// What a statement saw and produced the last time it executed.
+/// What a statement saw and produced the last time it executed. The
+/// produced-shape fields let a skip charge the statement's (identical)
+/// logical production to `EvalStats`, keeping `tables_produced` and
+/// `max_table_cells` in agreement with naive re-execution, which counts
+/// the same results afresh every iteration.
 struct StmtMemo {
     read_versions: Vec<u64>,
     target_version: u64,
+    /// Tables the statement produced last time it ran.
+    produced_tables: usize,
+    /// Total cells of those tables (the `max_cells` convention).
+    produced_cells: usize,
+    /// Largest single table, in cells.
+    produced_max_cells: usize,
 }
 
 struct DeltaState {
@@ -116,14 +127,14 @@ pub(crate) fn run_delta_while(
     body: &[Statement],
     db: &mut Database,
     limits: &EvalLimits,
-    stats: &mut EvalStats,
+    metrics: &mut Metrics,
     pool: &mut LazyPool,
 ) -> Result<()> {
     let mut st = DeltaState::new(body.len());
     let mut iters = 0usize;
     while db.tables_named(name).iter().any(|t| t.height() > 0) {
         iters += 1;
-        stats.while_iterations += 1;
+        metrics.stats.while_iterations += 1;
         if iters > limits.max_while_iters {
             return Err(AlgebraError::LimitExceeded {
                 what: "while iterations",
@@ -131,47 +142,75 @@ pub(crate) fn run_delta_while(
                 attempted: iters,
             });
         }
-        let mut dirty: HashSet<Symbol> = HashSet::new();
-        for (idx, stmt) in body.iter().enumerate() {
-            let Statement::Assign(a) = stmt else {
-                unreachable!("delta-safe bodies contain only assignments");
-            };
-            let target = a.target.as_ground().expect("delta-safe target");
-            let reads: Vec<Symbol> = a
-                .args
-                .iter()
-                .map(|p| p.as_ground().expect("delta-safe argument"))
-                .collect();
-            let read_versions: Vec<u64> = reads.iter().map(|&n| st.version(n)).collect();
-            if let Some(memo) = &st.memos[idx] {
-                if memo.read_versions == read_versions && st.version(target) == memo.target_version
-                {
-                    stats.while_delta_skipped += 1;
-                    continue;
-                }
-            }
-            let start = Instant::now();
-            let changed = run_body_statement(
-                &mut st,
-                idx,
-                a,
-                target,
-                reads,
-                read_versions,
-                db,
-                limits,
-                stats,
-                pool,
-            )?;
-            let kw = a.op.keyword();
-            *stats.op_counts.entry(kw).or_default() += 1;
-            *stats.op_micros.entry(kw).or_default() += start.elapsed().as_micros();
-            if changed {
-                dirty.insert(target);
+        metrics.begin(SpanKind::WhileIter, "while", Some(iters));
+        let iter_start = metrics.timer();
+        let outcome = run_delta_iteration(&mut st, body, db, limits, metrics, pool);
+        metrics.end(
+            Metrics::elapsed(iter_start).unwrap_or(0),
+            DeltaDecision::Executed,
+        );
+        outcome?;
+    }
+    Ok(())
+}
+
+/// One pass over the body of a delta `while` loop.
+fn run_delta_iteration(
+    st: &mut DeltaState,
+    body: &[Statement],
+    db: &mut Database,
+    limits: &EvalLimits,
+    metrics: &mut Metrics,
+    pool: &mut LazyPool,
+) -> Result<()> {
+    let mut dirty: HashSet<Symbol> = HashSet::new();
+    for (idx, stmt) in body.iter().enumerate() {
+        let Statement::Assign(a) = stmt else {
+            unreachable!("delta-safe bodies contain only assignments");
+        };
+        let kw = a.op.keyword();
+        let target = a.target.as_ground().expect("delta-safe target");
+        let reads: Vec<Symbol> = a
+            .args
+            .iter()
+            .map(|p| p.as_ground().expect("delta-safe argument"))
+            .collect();
+        let read_versions: Vec<u64> = reads.iter().map(|&n| st.version(n)).collect();
+        if let Some(memo) = &st.memos[idx] {
+            if memo.read_versions == read_versions && st.version(target) == memo.target_version {
+                // Skipped, but the statement's logical production still
+                // counts: naive re-execution would have reproduced the
+                // memoized results and counted them again.
+                metrics.stats.while_delta_skipped += 1;
+                metrics.stats.tables_produced += memo.produced_tables;
+                metrics.stats.max_table_cells =
+                    metrics.stats.max_table_cells.max(memo.produced_max_cells);
+                metrics.skip_span(kw, memo.produced_tables, memo.produced_cells);
+                continue;
             }
         }
-        stats.delta_dirty_sizes.push(dirty.len());
+        metrics.begin(SpanKind::Assign, kw, None);
+        let start = metrics.timer();
+        let outcome = run_body_statement(
+            st,
+            idx,
+            a,
+            target,
+            reads,
+            read_versions,
+            db,
+            limits,
+            metrics,
+            pool,
+        );
+        let micros = Metrics::elapsed(start);
+        metrics.record_op(kw, micros);
+        metrics.end(micros.unwrap_or(0), DeltaDecision::Executed);
+        if outcome? {
+            dirty.insert(target);
+        }
     }
+    metrics.stats.delta_dirty_sizes.push(dirty.len());
     Ok(())
 }
 
@@ -189,7 +228,7 @@ fn run_body_statement(
     read_versions: Vec<u64>,
     db: &mut Database,
     limits: &EvalLimits,
-    stats: &mut EvalStats,
+    metrics: &mut Metrics,
     pool: &mut LazyPool,
 ) -> Result<bool> {
     let (results, known_change) =
@@ -204,9 +243,12 @@ fn run_body_statement(
                 };
                 (vec![out], Some(change))
             }
-            None => (compute_results(a, db, limits, pool)?, None),
+            None => (compute_results(a, db, limits, metrics, pool)?, None),
         };
-    check_results(&results, limits, stats)?;
+    check_results(&results, limits, metrics)?;
+    let produced_tables = results.len();
+    let produced_cells = results.iter().map(table_cells).sum();
+    let produced_max_cells = results.iter().map(table_cells).max().unwrap_or(0);
 
     let change = match known_change {
         Some(c) => c,
@@ -242,6 +284,9 @@ fn run_body_statement(
     st.memos[idx] = Some(StmtMemo {
         read_versions,
         target_version: st.version(target),
+        produced_tables,
+        produced_cells,
+        produced_max_cells,
     });
     Ok(changed)
 }
@@ -460,6 +505,70 @@ mod tests {
         assert!(!stats.delta_dirty_sizes.is_empty());
         // Until the loop exits, every iteration changes at least `Delta`.
         assert!(stats.delta_dirty_sizes.iter().all(|&d| d >= 1));
+    }
+
+    #[test]
+    fn stats_agree_between_naive_and_delta_on_delta_safe_programs() {
+        // The delta strategy skips statements and recomputes others
+        // incrementally, but its *logical* production accounting must
+        // match naive re-execution: skipped statements charge their
+        // memoized output shape.
+        let p = tc_program();
+        let db = chain(8);
+        let (_, naive) = run_with_stats(&p, &db, &limits(WhileStrategy::Naive)).unwrap();
+        let (_, delta) = run_with_stats(&p, &db, &limits(WhileStrategy::Delta)).unwrap();
+        assert!(delta.while_delta_skipped > 0, "skips actually exercised");
+        assert_eq!(naive.while_iterations, delta.while_iterations);
+        assert_eq!(
+            naive.tables_produced, delta.tables_produced,
+            "skipped statements must charge their memoized production"
+        );
+        assert_eq!(naive.max_table_cells, delta.max_table_cells);
+        // Executions differ (that is the point of skipping), but every
+        // operation naive ran is present in the delta counts.
+        for op in naive.op_counts.keys() {
+            assert!(delta.op_counts.contains_key(op), "{op} missing from delta");
+        }
+    }
+
+    #[test]
+    fn traced_delta_run_labels_skips_and_iterations() {
+        use crate::eval::run_traced;
+        use crate::obs::trace::{DeltaDecision, SpanKind, TraceLevel};
+
+        let p = tc_program();
+        let db = chain(8);
+        let l = EvalLimits {
+            while_strategy: WhileStrategy::Delta,
+            trace: TraceLevel::Spans,
+            ..EvalLimits::default()
+        };
+        let (_, stats, trace) = run_traced(&p, &db, &l).unwrap();
+        assert_eq!(trace.dropped(), 0);
+        // Spans reconcile with stats: same per-op wall time (skips are 0),
+        // and one delta-skipped span per counted skip.
+        assert_eq!(trace.per_op_micros(), stats.op_micros);
+        let skipped = trace
+            .spans()
+            .filter(|s| s.decision == DeltaDecision::DeltaSkipped)
+            .count();
+        assert_eq!(skipped, stats.while_delta_skipped);
+        let iters = trace
+            .spans()
+            .filter(|s| s.kind == SpanKind::WhileIter)
+            .count();
+        assert_eq!(iters, stats.while_iterations);
+        // Every body-statement span sits under an iteration span.
+        let iter_ids: std::collections::HashSet<u64> = trace
+            .spans()
+            .filter(|s| s.kind == SpanKind::WhileIter)
+            .map(|s| s.id)
+            .collect();
+        for s in trace.spans().filter(|s| s.kind == SpanKind::Assign) {
+            if let Some(p) = s.parent {
+                assert!(iter_ids.contains(&p), "assign span parents an iteration");
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! engineering guards, not semantics (DESIGN.md §4).
 
 use crate::error::{AlgebraError, Result};
+use crate::obs::metrics::Metrics;
+use crate::obs::trace::{DeltaDecision, SpanKind, Trace, TraceLevel};
 use crate::ops;
 use crate::param::{denote_set, denote_single, denote_target, match_name, Bindings};
 use crate::pool::LazyPool;
@@ -54,14 +56,19 @@ pub struct EvalLimits {
     /// Maximum cells in any produced table.
     pub max_cells: usize,
     /// Evaluate a statement's per-table applications on multiple threads
-    /// once at least this many tables match (wildcard statements over
-    /// SalesInfo4-style databases). `usize::MAX` disables parallelism.
-    /// Operations are pure, so the only visible difference is the choice
-    /// of fresh tag values — determinacy up to isomorphism, as in §4.1
-    /// condition (iv).
+    /// once at least this many tables match (`matches >= threshold`,
+    /// inclusive — pinned by a boundary test; thresholds below 2 are
+    /// clamped to 2, since a single matching table leaves nothing to fan
+    /// out). `usize::MAX` disables parallelism. Operations are pure, so
+    /// the only visible difference is the choice of fresh tag values —
+    /// determinacy up to isomorphism, as in §4.1 condition (iv).
     pub parallel_threshold: usize,
     /// `while` loop evaluation strategy.
     pub while_strategy: WhileStrategy,
+    /// Observability level: `Off` (no timing), `Counters` (per-op stats,
+    /// the default), or `Spans` (stats plus the structured trace
+    /// returned by [`run_traced`]).
+    pub trace: TraceLevel,
 }
 
 impl Default for EvalLimits {
@@ -73,6 +80,7 @@ impl Default for EvalLimits {
             max_cells: 1 << 28,
             parallel_threshold: 64,
             while_strategy: WhileStrategy::default(),
+            trace: TraceLevel::default(),
         }
     }
 }
@@ -83,16 +91,31 @@ impl Default for EvalLimits {
 /// EXPERIMENTS.md.
 #[derive(Clone, Debug, Default)]
 pub struct EvalStats {
-    /// Assignment executions per operation keyword.
+    /// Assignment executions per operation keyword (delta-skipped
+    /// statements are not executions and are not counted here).
     pub op_counts: BTreeMap<&'static str, usize>,
-    /// Wall time per operation keyword, in microseconds.
+    /// Wall time per operation keyword, in microseconds. Each statement
+    /// is timed exactly once — body statements of a `while` are timed by
+    /// the body pass only, never additionally by the enclosing loop — so
+    /// the values sum to at most [`EvalStats::total_micros`] (pinned by
+    /// a regression test on a 3-deep nested program). Empty at
+    /// [`TraceLevel::Off`].
     pub op_micros: BTreeMap<&'static str, u128>,
+    /// Wall time of the whole run, in microseconds.
+    pub total_micros: u128,
     /// Total `while` loop iterations.
     pub while_iterations: usize,
-    /// Tables produced across all statements (before set-dedup).
+    /// Tables produced across all statements (before set-dedup). The
+    /// delta `while` strategy accounts skipped statements by the shape
+    /// of their memoized output — what naive re-execution would have
+    /// reproduced — so this figure agrees between
+    /// [`WhileStrategy::Naive`] and [`WhileStrategy::Delta`].
     pub tables_produced: usize,
     /// Largest table produced, in cells.
     pub max_table_cells: usize,
+    /// Jobs dispatched to the shard pool (statements whose matches
+    /// reached [`EvalLimits::parallel_threshold`]).
+    pub shard_jobs: usize,
     /// Body statements skipped by the delta `while` strategy because
     /// neither their inputs nor their own output changed since their last
     /// execution.
@@ -133,17 +156,34 @@ pub fn run_with_stats(
     db: &Database,
     limits: &EvalLimits,
 ) -> Result<(Database, EvalStats)> {
+    let (state, stats, _) = run_traced(program, db, limits)?;
+    Ok((state, stats))
+}
+
+/// Like [`run_with_stats`], additionally returning the structured
+/// evaluation trace. The trace is empty unless `limits.trace` is
+/// [`TraceLevel::Spans`]; see [`crate::obs`] for the span schema and
+/// [`crate::pretty::render_trace`] for the `EXPLAIN ANALYZE`-style view.
+pub fn run_traced(
+    program: &Program,
+    db: &Database,
+    limits: &EvalLimits,
+) -> Result<(Database, EvalStats, Trace)> {
     let mut state = db.clone();
-    let mut stats = EvalStats::default();
+    let mut metrics = Metrics::new(limits.trace);
     let mut pool = LazyPool::new();
-    run_statements(
+    let start = Instant::now();
+    let outcome = run_statements(
         &program.statements,
         &mut state,
         limits,
-        &mut stats,
+        &mut metrics,
         &mut pool,
-    )?;
-    Ok((state, stats))
+    );
+    metrics.stats.total_micros = start.elapsed().as_micros();
+    outcome?;
+    let (stats, trace) = metrics.into_parts();
+    Ok((state, stats, trace))
 }
 
 /// Evaluate a program and project the result onto the given output names
@@ -166,33 +206,30 @@ pub(crate) fn run_statements(
     stmts: &[Statement],
     db: &mut Database,
     limits: &EvalLimits,
-    stats: &mut EvalStats,
+    metrics: &mut Metrics,
     pool: &mut LazyPool,
 ) -> Result<()> {
     for stmt in stmts {
         match stmt {
-            Statement::Assign(a) => {
-                let start = Instant::now();
-                run_assignment(a, db, limits, stats, pool)?;
-                let kw = a.op.keyword();
-                *stats.op_counts.entry(kw).or_default() += 1;
-                *stats.op_micros.entry(kw).or_default() += start.elapsed().as_micros();
-            }
+            Statement::Assign(a) => run_timed_assignment(a, db, limits, metrics, pool)?,
             Statement::While { cond, body } => {
                 let name = denote_target(cond, &Bindings::new())
                     .map_err(|_| AlgebraError::BadWhileCondition)?;
                 let delta = limits.while_strategy == WhileStrategy::Delta;
                 if delta && crate::optimize::body_is_delta_safe(body) {
-                    crate::delta::run_delta_while(name, body, db, limits, stats, pool)?;
+                    crate::delta::run_delta_while(name, body, db, limits, metrics, pool)?;
                     continue;
                 }
-                if delta {
-                    stats.while_fallback_naive += 1;
-                }
+                let decision = if delta {
+                    metrics.stats.while_fallback_naive += 1;
+                    DeltaDecision::FallbackNaive
+                } else {
+                    DeltaDecision::Executed
+                };
                 let mut iters = 0usize;
                 while db.tables_named(name).iter().any(|t| t.height() > 0) {
                     iters += 1;
-                    stats.while_iterations += 1;
+                    metrics.stats.while_iterations += 1;
                     if iters > limits.max_while_iters {
                         return Err(AlgebraError::LimitExceeded {
                             what: "while iterations",
@@ -200,7 +237,11 @@ pub(crate) fn run_statements(
                             attempted: iters,
                         });
                     }
-                    run_statements(body, db, limits, stats, pool)?;
+                    metrics.begin(SpanKind::WhileIter, "while", Some(iters));
+                    let start = metrics.timer();
+                    let outcome = run_statements(body, db, limits, metrics, pool);
+                    metrics.end(Metrics::elapsed(start).unwrap_or(0), decision);
+                    outcome?;
                 }
             }
         }
@@ -208,25 +249,55 @@ pub(crate) fn run_statements(
     Ok(())
 }
 
+/// Execute one assignment with its span and per-op accounting. The
+/// single `elapsed` reading here is the *only* place a statement is
+/// timed — it feeds both `EvalStats::op_micros` and the statement's
+/// span, so the two sinks reconcile exactly and nothing is counted
+/// twice.
+pub(crate) fn run_timed_assignment(
+    a: &Assignment,
+    db: &mut Database,
+    limits: &EvalLimits,
+    metrics: &mut Metrics,
+    pool: &mut LazyPool,
+) -> Result<()> {
+    metrics.begin(SpanKind::Assign, a.op.keyword(), None);
+    let start = metrics.timer();
+    let outcome = run_assignment(a, db, limits, metrics, pool);
+    let micros = Metrics::elapsed(start);
+    metrics.record_op(a.op.keyword(), micros);
+    metrics.end(micros.unwrap_or(0), DeltaDecision::Executed);
+    outcome
+}
+
 fn run_assignment(
     a: &Assignment,
     db: &mut Database,
     limits: &EvalLimits,
-    stats: &mut EvalStats,
+    metrics: &mut Metrics,
     pool: &mut LazyPool,
 ) -> Result<()> {
-    let results = compute_results(a, db, limits, pool)?;
-    check_results(&results, limits, stats)?;
+    let results = compute_results(a, db, limits, metrics, pool)?;
+    check_results(&results, limits, metrics)?;
     replace_results(results, db);
     check_table_count(db, limits)
 }
 
+/// Cells of a table under the limit convention of `max_cells`: the data
+/// matrix plus its attribute row and column.
+pub(crate) fn table_cells(t: &Table) -> usize {
+    (t.height() + 1) * (t.width() + 1)
+}
+
 /// Evaluate an assignment against the (pre-statement) database, returning
-/// the produced tables without committing them.
+/// the produced tables without committing them. Annotates the open span
+/// (if any) with the matched-combination count and input cells, and
+/// records one child span per shard-pool job.
 pub(crate) fn compute_results(
     a: &Assignment,
     db: &Database,
     limits: &EvalLimits,
+    metrics: &mut Metrics,
     pool: &mut LazyPool,
 ) -> Result<Vec<Table>> {
     let arity = a.op.arity();
@@ -241,6 +312,8 @@ pub(crate) fn compute_results(
     // Collect results over all matching argument combinations, reading the
     // pre-statement state throughout.
     let mut results: Vec<Table> = Vec::new();
+    let mut combos = 0usize;
+    let mut input_cells = 0usize;
 
     match &a.op {
         // COLLAPSE consumes every matching table of one name collectively.
@@ -255,6 +328,8 @@ pub(crate) fn compute_results(
                 }
                 names_done.insert(t.name());
                 let group: Vec<&Table> = db.tables_named(t.name());
+                combos += 1;
+                input_cells += group.iter().map(|g| table_cells(g)).sum::<usize>();
                 let target = denote_target(&a.target, &bindings)?;
                 let by_set = denote_set(by, t, &bindings);
                 results.push(ops::collapse(&group, &by_set, target));
@@ -270,14 +345,18 @@ pub(crate) fn compute_results(
                 let target = denote_target(&a.target, &bindings)?;
                 work.push((t, bindings, target));
             }
+            combos = work.len();
+            input_cells = work.iter().map(|(t, _, _)| table_cells(t)).sum();
             if work.len() >= limits.parallel_threshold.max(2) {
                 // Purely functional per-table applications: shard across
                 // the run's persistent worker pool, then splice results
-                // back in input order.
+                // back in input order. Each job clocks its own wall time
+                // into its slot so the evaluating thread can record shard
+                // spans without cross-thread metrics.
                 let shards = pool.get().threads().min(work.len());
                 let chunk = work.len().div_ceil(shards);
                 let chunks: Vec<&[(&Table, Bindings, Symbol)]> = work.chunks(chunk).collect();
-                let mut slots: Vec<Option<Result<Vec<Table>>>> = vec![None; chunks.len()];
+                let mut slots: Vec<Option<(Result<Vec<Table>>, u128)>> = vec![None; chunks.len()];
                 let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
                     .iter()
                     .zip(slots.iter_mut())
@@ -285,6 +364,7 @@ pub(crate) fn compute_results(
                         let slice = *slice;
                         let op = &a.op;
                         Box::new(move || {
+                            let start = Instant::now();
                             let mut local = Vec::new();
                             let out = slice
                                 .iter()
@@ -292,13 +372,16 @@ pub(crate) fn compute_results(
                                     apply_unary(op, t, *target, bindings, limits, &mut local)
                                 })
                                 .map(|()| local);
-                            *slot = Some(out);
+                            *slot = Some((out, start.elapsed().as_micros()));
                         }) as Box<dyn FnOnce() + Send + '_>
                     })
                     .collect();
                 pool.get().scoped(jobs);
-                for slot in slots {
-                    results.extend(slot.expect("every shard reports a result")?);
+                metrics.stats.shard_jobs += chunks.len();
+                for (shard, (slot, slice)) in slots.into_iter().zip(&chunks).enumerate() {
+                    let (out, micros) = slot.expect("every shard reports a result");
+                    metrics.shard_span(shard, slice.len(), micros);
+                    results.extend(out?);
                 }
             } else {
                 for (t, bindings, target) in &work {
@@ -315,6 +398,8 @@ pub(crate) fn compute_results(
                     let Some(b2) = match_name(&a.args[1], t2.name(), &b1) else {
                         continue;
                     };
+                    combos += 1;
+                    input_cells += table_cells(t1) + table_cells(t2);
                     let target = denote_target(&a.target, &b2)?;
                     let out = match &a.op {
                         OpKind::Union => ops::union(t1, t2, target),
@@ -330,6 +415,7 @@ pub(crate) fn compute_results(
         }
     }
 
+    metrics.note_matched(combos, input_cells);
     Ok(results)
 }
 
@@ -338,12 +424,14 @@ pub(crate) fn compute_results(
 pub(crate) fn check_results(
     results: &[Table],
     limits: &EvalLimits,
-    stats: &mut EvalStats,
+    metrics: &mut Metrics,
 ) -> Result<()> {
-    stats.tables_produced += results.len();
+    metrics.stats.tables_produced += results.len();
+    let mut total = 0usize;
     for t in results {
-        let cells = (t.height() + 1) * (t.width() + 1);
-        stats.max_table_cells = stats.max_table_cells.max(cells);
+        let cells = table_cells(t);
+        total += cells;
+        metrics.stats.max_table_cells = metrics.stats.max_table_cells.max(cells);
         if cells > limits.max_cells {
             return Err(AlgebraError::LimitExceeded {
                 what: "cells per table",
@@ -352,6 +440,7 @@ pub(crate) fn check_results(
             });
         }
     }
+    metrics.note_output(total);
     Ok(())
 }
 
@@ -695,6 +784,114 @@ mod tests {
         assert_eq!(stats.max_table_cells, 100);
         let hottest = stats.hottest();
         assert_eq!(hottest.len(), 3);
+    }
+
+    #[test]
+    fn op_micros_sum_to_at_most_total_wall_time() {
+        // A 3-deep nested while program: were body statements timed both
+        // by the body pass and by enclosing-loop accounting, the inner
+        // statements would be charged once per nesting level and the
+        // per-op total would exceed the wall clock.
+        let p = crate::parser::parse(
+            "while A do
+               X <- COPY(Seed)
+               while B do
+                 Y <- PRODUCT(Seed, Seed)
+                 while C do
+                   Z <- GROUP[by {K} on {V}](Seed)
+                   C <- DIFFERENCE(C, C)
+                 end
+                 C <- COPY(CSeed)
+                 B <- DIFFERENCE(B, B)
+               end
+               B <- COPY(BSeed)
+               A <- DIFFERENCE(A, A)
+             end",
+        )
+        .unwrap();
+        let db = Database::from_tables([
+            Table::relational("Seed", &["K", "V"], &[&["a", "1"], &["b", "2"]]),
+            Table::relational("A", &["X"], &[&["go"]]),
+            Table::relational("B", &["X"], &[&["go"]]),
+            Table::relational("C", &["X"], &[&["go"]]),
+            Table::relational("BSeed", &["X"], &[&["go"]]),
+            Table::relational("CSeed", &["X"], &[&["go"]]),
+        ]);
+        for strategy in [WhileStrategy::Naive, WhileStrategy::Delta] {
+            let l = EvalLimits {
+                while_strategy: strategy,
+                ..EvalLimits::default()
+            };
+            let (_, stats) = run_with_stats(&p, &db, &l).unwrap();
+            let op_sum: u128 = stats.op_micros.values().sum();
+            assert!(
+                op_sum <= stats.total_micros,
+                "{strategy:?}: per-op micros {op_sum} exceed total {}",
+                stats.total_micros
+            );
+            assert!(stats.while_iterations >= 3, "all three loops iterated");
+        }
+    }
+
+    #[test]
+    fn trace_per_op_totals_reconcile_with_stats() {
+        let p = crate::parser::parse(
+            "Sales <- GROUP[by {Region} on {Sold}](Sales)
+             while Work do Work <- DIFFERENCE(Work, Work) end",
+        )
+        .unwrap();
+        let mut db = fixtures::sales_info1();
+        db.insert(Table::relational("Work", &["A"], &[&["1"]]));
+        let l = EvalLimits {
+            trace: TraceLevel::Spans,
+            ..EvalLimits::default()
+        };
+        let (_, stats, trace) = run_traced(&p, &db, &l).unwrap();
+        assert_eq!(trace.dropped(), 0);
+        assert_eq!(
+            trace.per_op_micros(),
+            stats.op_micros,
+            "span micros are the same measurements as op_micros"
+        );
+        let json = trace.to_json();
+        assert!(json.contains("\"op\":\"GROUP\""));
+    }
+
+    #[test]
+    fn trace_off_records_no_timing_at_all() {
+        let p = crate::parser::parse("T <- COPY(Sales)").unwrap();
+        let l = EvalLimits {
+            trace: TraceLevel::Off,
+            ..EvalLimits::default()
+        };
+        let (_, stats, trace) = run_traced(&p, &fixtures::sales_info1(), &l).unwrap();
+        assert!(trace.is_empty());
+        assert!(stats.op_micros.is_empty());
+        assert_eq!(stats.op_counts.get("COPY"), Some(&1));
+    }
+
+    #[test]
+    fn parallel_threshold_boundary_is_inclusive() {
+        // Exactly `threshold` matching tables must fan out (the doc says
+        // "once at least this many tables match"); one fewer must not.
+        let threshold = 4;
+        let mk = |n: usize| {
+            Database::from_tables(
+                (0..n).map(|i| Table::relational(&format!("T{i}"), &["A"], &[&["v"]])),
+            )
+        };
+        let p = crate::parser::parse("*1 <- TRANSPOSE(*1)").unwrap();
+        let l = EvalLimits {
+            parallel_threshold: threshold,
+            ..EvalLimits::default()
+        };
+        let (_, at) = run_with_stats(&p, &mk(threshold), &l).unwrap();
+        assert!(
+            at.shard_jobs > 0,
+            "exactly threshold matches dispatch to the pool"
+        );
+        let (_, below) = run_with_stats(&p, &mk(threshold - 1), &l).unwrap();
+        assert_eq!(below.shard_jobs, 0, "threshold - 1 matches stay serial");
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! unqualified results land in the designated local member.
 
 use crate::error::Result;
-use crate::eval::{run, EvalLimits};
+use crate::eval::{run, run_traced, EvalLimits, EvalStats};
+use crate::obs::trace::Trace;
 use crate::program::Program;
 use tabular_core::{Database, Symbol, Table};
 
@@ -113,6 +114,20 @@ impl Federation {
         let flat = self.flatten();
         let out = run(program, &flat, limits)?;
         Ok(Federation::unflatten(&out, local))
+    }
+
+    /// Like [`Federation::run_program`], additionally returning the
+    /// execution statistics and structured trace of the underlying run
+    /// over the flattened database (spans name the qualified tables).
+    pub fn run_program_traced(
+        &self,
+        program: &Program,
+        local: &str,
+        limits: &EvalLimits,
+    ) -> Result<(Federation, EvalStats, Trace)> {
+        let flat = self.flatten();
+        let (out, stats, trace) = run_traced(program, &flat, limits)?;
+        Ok((Federation::unflatten(&out, local), stats, trace))
     }
 
     /// Total table count across members.
@@ -225,6 +240,23 @@ mod tests {
             assert_eq!(t.height(), 2); // transposed: attrs became rows
             assert_eq!(t.width(), 2);
         }
+    }
+
+    #[test]
+    fn traced_run_reports_stats_and_spans() {
+        use crate::obs::trace::TraceLevel;
+
+        let fed = two_branch_federation();
+        let p = parse("warehouse.Sales <- CLASSICALUNION(east.Sales, west.Sales)").unwrap();
+        let traced = EvalLimits {
+            trace: TraceLevel::Spans,
+            ..EvalLimits::default()
+        };
+        let (out, stats, trace) = fed.run_program_traced(&p, "main", &traced).unwrap();
+        assert!(out.member("warehouse").is_some());
+        assert_eq!(stats.op_counts.get("CLASSICALUNION"), Some(&1));
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.spans().next().unwrap().op, "CLASSICALUNION");
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod derived;
 pub mod error;
 pub mod eval;
 pub mod federation;
+pub mod obs;
 pub mod ops;
 pub mod optimize;
 pub mod param;
@@ -51,8 +52,11 @@ pub mod pretty;
 pub mod program;
 
 pub use error::AlgebraError;
-pub use eval::{run, run_outputs, run_with_stats, EvalLimits, EvalStats, WhileStrategy};
+pub use eval::{
+    run, run_outputs, run_traced, run_with_stats, EvalLimits, EvalStats, WhileStrategy,
+};
 pub use federation::Federation;
+pub use obs::{DeltaDecision, Span, SpanKind, Trace, TraceLevel};
 pub use optimize::optimize;
 pub use param::Param;
 pub use program::{Assignment, OpKind, Program, Statement};

@@ -1,0 +1,256 @@
+//! The metrics registry: the single sink for everything the interpreter
+//! counts, times, or traces.
+//!
+//! Before this module, `eval.rs` and `delta.rs` each updated raw
+//! `EvalStats` fields inline and the shard pool reported nothing; the
+//! [`Metrics`] registry centralizes that bookkeeping behind one API so
+//! counter semantics (what counts as an "execution", how skipped
+//! statements are accounted) live in one place, and so the span layer of
+//! [`crate::obs::trace`] can piggyback on the very same measurements —
+//! which is what makes per-op span totals reconcile *exactly* with
+//! `EvalStats::op_micros` (no double counting: each statement is timed
+//! once and the one reading feeds both sinks).
+//!
+//! The registry is deliberately single-threaded: shard jobs measure
+//! their own wall time into their result slots and the evaluating thread
+//! records the spans after the scoped join, so no synchronization is
+//! needed on the hot path and `TraceLevel::Off` costs only a branch.
+
+use crate::eval::EvalStats;
+use crate::obs::trace::{DeltaDecision, Span, SpanKind, Trace, TraceLevel};
+use std::time::Instant;
+
+/// A span begun but not yet completed; lives on the registry's stack so
+/// nested work (iteration → statement → shard) links parents correctly
+/// and so helpers like `compute_results` can annotate the span currently
+/// open without threading a handle through every call.
+struct Pending {
+    id: u64,
+    parent: Option<u64>,
+    kind: SpanKind,
+    op: &'static str,
+    matched: usize,
+    input_cells: usize,
+    output_cells: usize,
+    iteration: Option<usize>,
+}
+
+/// Single sink for interpreter statistics and spans (see module docs).
+pub(crate) struct Metrics {
+    /// The public counters, exactly as `run_with_stats` returns them.
+    pub(crate) stats: EvalStats,
+    level: TraceLevel,
+    trace: Trace,
+    stack: Vec<Pending>,
+    next_id: u64,
+}
+
+impl Metrics {
+    pub(crate) fn new(level: TraceLevel) -> Metrics {
+        Metrics {
+            stats: EvalStats::default(),
+            level,
+            trace: Trace::new(),
+            stack: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// True when spans are being recorded.
+    pub(crate) fn spans_enabled(&self) -> bool {
+        self.level == TraceLevel::Spans
+    }
+
+    /// A timestamp for per-op timing, unless the level is `Off`.
+    pub(crate) fn timer(&self) -> Option<Instant> {
+        (self.level >= TraceLevel::Counters).then(Instant::now)
+    }
+
+    /// Elapsed µs of a [`Metrics::timer`] timestamp.
+    pub(crate) fn elapsed(start: Option<Instant>) -> Option<u128> {
+        start.map(|s| s.elapsed().as_micros())
+    }
+
+    /// Count one execution of `op`; add its wall time when timed.
+    pub(crate) fn record_op(&mut self, op: &'static str, micros: Option<u128>) {
+        *self.stats.op_counts.entry(op).or_default() += 1;
+        if let Some(us) = micros {
+            *self.stats.op_micros.entry(op).or_default() += us;
+        }
+    }
+
+    fn alloc_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Open a span (no-op below [`TraceLevel::Spans`]). Every `begin`
+    /// must be paired with an [`Metrics::end`] on the success path;
+    /// spans left open by error propagation are simply not recorded.
+    pub(crate) fn begin(&mut self, kind: SpanKind, op: &'static str, iteration: Option<usize>) {
+        if !self.spans_enabled() {
+            return;
+        }
+        let parent = self.stack.last().map(|p| p.id);
+        let id = self.alloc_id();
+        self.stack.push(Pending {
+            id,
+            parent,
+            kind,
+            op,
+            matched: 0,
+            input_cells: 0,
+            output_cells: 0,
+            iteration,
+        });
+    }
+
+    /// Annotate the open span with its matched argument combinations and
+    /// the total cells of the matched inputs.
+    pub(crate) fn note_matched(&mut self, combos: usize, input_cells: usize) {
+        if let Some(p) = self.stack.last_mut() {
+            p.matched = combos;
+            p.input_cells = input_cells;
+        }
+    }
+
+    /// Annotate the open span with the total cells it produced.
+    pub(crate) fn note_output(&mut self, cells: usize) {
+        if let Some(p) = self.stack.last_mut() {
+            p.output_cells += cells;
+        }
+    }
+
+    /// Close the innermost open span with its wall time and decision.
+    pub(crate) fn end(&mut self, micros: u128, decision: DeltaDecision) {
+        if !self.spans_enabled() {
+            return;
+        }
+        let Some(p) = self.stack.pop() else {
+            return;
+        };
+        self.trace.push(Span {
+            id: p.id,
+            parent: p.parent,
+            kind: p.kind,
+            op: p.op,
+            matched: p.matched,
+            input_cells: p.input_cells,
+            output_cells: p.output_cells,
+            micros,
+            decision,
+            shard: None,
+            iteration: p.iteration,
+        });
+    }
+
+    /// Record a completed shard-pool job as a leaf under the open
+    /// statement span.
+    pub(crate) fn shard_span(&mut self, shard: usize, tables: usize, micros: u128) {
+        if !self.spans_enabled() {
+            return;
+        }
+        let parent = self.stack.last().map(|p| p.id);
+        let id = self.alloc_id();
+        self.trace.push(Span {
+            id,
+            parent,
+            kind: SpanKind::Shard,
+            op: "shard",
+            matched: tables,
+            input_cells: 0,
+            output_cells: 0,
+            micros,
+            decision: DeltaDecision::Executed,
+            shard: Some(shard),
+            iteration: None,
+        });
+    }
+
+    /// Record a delta-skipped statement as a zero-time leaf span carrying
+    /// the memoized shape of what naive re-execution would reproduce.
+    pub(crate) fn skip_span(&mut self, op: &'static str, tables: usize, output_cells: usize) {
+        if !self.spans_enabled() {
+            return;
+        }
+        let parent = self.stack.last().map(|p| p.id);
+        let id = self.alloc_id();
+        self.trace.push(Span {
+            id,
+            parent,
+            kind: SpanKind::Assign,
+            op,
+            matched: tables,
+            input_cells: 0,
+            output_cells,
+            micros: 0,
+            decision: DeltaDecision::DeltaSkipped,
+            shard: None,
+            iteration: None,
+        });
+    }
+
+    /// Decompose into the public stats and the collected trace.
+    pub(crate) fn into_parts(self) -> (EvalStats, Trace) {
+        (self.stats, self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_records_no_spans_and_no_timers() {
+        let mut m = Metrics::new(TraceLevel::Off);
+        assert!(m.timer().is_none());
+        m.begin(SpanKind::Assign, "COPY", None);
+        m.note_matched(1, 4);
+        m.end(5, DeltaDecision::Executed);
+        m.record_op("COPY", None);
+        let (stats, trace) = m.into_parts();
+        assert!(trace.is_empty());
+        assert_eq!(stats.op_counts.get("COPY"), Some(&1));
+        assert!(stats.op_micros.is_empty());
+    }
+
+    #[test]
+    fn counters_time_without_spans() {
+        let mut m = Metrics::new(TraceLevel::Counters);
+        assert!(m.timer().is_some());
+        m.record_op("COPY", Some(3));
+        let (stats, trace) = m.into_parts();
+        assert!(trace.is_empty());
+        assert_eq!(stats.op_micros.get("COPY"), Some(&3));
+    }
+
+    #[test]
+    fn spans_nest_via_the_stack() {
+        let mut m = Metrics::new(TraceLevel::Spans);
+        m.begin(SpanKind::WhileIter, "while", Some(1));
+        m.begin(SpanKind::Assign, "PRODUCT", None);
+        m.note_matched(2, 10);
+        m.note_output(6);
+        m.shard_span(0, 1, 2);
+        m.end(7, DeltaDecision::Executed);
+        m.skip_span("SELECT", 1, 4);
+        m.end(20, DeltaDecision::Executed);
+        let (_, trace) = m.into_parts();
+        let spans: Vec<_> = trace.spans().collect();
+        assert_eq!(spans.len(), 4);
+        let shard = spans.iter().find(|s| s.kind == SpanKind::Shard).unwrap();
+        let product = spans.iter().find(|s| s.op == "PRODUCT").unwrap();
+        let skipped = spans.iter().find(|s| s.op == "SELECT").unwrap();
+        let iter = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::WhileIter)
+            .unwrap();
+        assert_eq!(shard.parent, Some(product.id));
+        assert_eq!(product.parent, Some(iter.id));
+        assert_eq!(skipped.parent, Some(iter.id));
+        assert_eq!(skipped.decision, DeltaDecision::DeltaSkipped);
+        assert_eq!(product.matched, 2);
+        assert_eq!(product.output_cells, 6);
+        assert_eq!(iter.iteration, Some(1));
+    }
+}

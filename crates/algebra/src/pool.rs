@@ -56,8 +56,11 @@ impl ShardPool {
     ///
     /// Jobs may borrow from the caller (lifetime `'s`): the call does not
     /// return until each job has reported completion, so no borrow
-    /// escapes. If any job panicked, the panic is resumed here after all
-    /// jobs have finished.
+    /// escapes. If jobs panicked, the *first* panic (in completion order)
+    /// is resumed here, and only after all `n` completions have been
+    /// drained — later panics must not shadow the original failure, and
+    /// resuming early would drop the `done` receiver while jobs still
+    /// borrow the caller's stack.
     pub fn scoped<'s>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 's>>) {
         let n = jobs.len();
         if n == 0 {
@@ -89,7 +92,11 @@ impl ShardPool {
         for _ in 0..n {
             match finished.recv().expect("every job reports completion") {
                 Ok(()) => {}
-                Err(p) => panic = Some(p),
+                Err(p) => {
+                    if panic.is_none() {
+                        panic = Some(p);
+                    }
+                }
             }
         }
         if let Some(p) = panic {
@@ -190,6 +197,40 @@ mod tests {
         let caught = catch_unwind(AssertUnwindSafe(|| pool.scoped(boom)));
         assert!(caught.is_err());
         // The pool keeps working after a job panic.
+        let ok = AtomicUsize::new(0);
+        pool.scoped(vec![Box::new(|| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        }) as Box<dyn FnOnce() + Send + '_>]);
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn two_panicking_jobs_drain_fully_and_resume_one() {
+        let pool = ShardPool::new(2);
+        let survivors = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(|| panic!("first failure")),
+            Box::new(|| {
+                survivors.fetch_add(1, Ordering::SeqCst);
+            }),
+            Box::new(|| panic!("second failure")),
+            Box::new(|| {
+                survivors.fetch_add(1, Ordering::SeqCst);
+            }),
+        ];
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.scoped(jobs)));
+        let payload = caught.expect_err("a job panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("panic payload is the job's message");
+        assert!(
+            msg == "first failure" || msg == "second failure",
+            "propagated panic is one of the jobs', got {msg:?}"
+        );
+        // All completions were drained before resuming: the non-panicking
+        // jobs finished, and the pool is still fully usable.
+        assert_eq!(survivors.load(Ordering::SeqCst), 2);
         let ok = AtomicUsize::new(0);
         pool.scoped(vec![Box::new(|| {
             ok.fetch_add(1, Ordering::SeqCst);

@@ -5,7 +5,7 @@
 //! depth.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tabular_algebra::{run, EvalLimits, WhileStrategy};
+use tabular_algebra::{run, EvalLimits, TraceLevel, WhileStrategy};
 use tabular_bench::{ta_chain_db, ta_tc_program};
 use tabular_relational::relation::{RelDatabase, Relation};
 use tabular_schemalog::{
@@ -67,6 +67,22 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("naive", len), &db, |b, db| {
             b.iter(|| run(&ta_program, db, &strategy_limits(WhileStrategy::Naive)).unwrap());
         });
+        // Tracing-overhead ablation on the same workload: `Off` removes
+        // all timing from the statement path and must stay within noise
+        // (<5%) of the default `Counters` delta rows above; `Spans` adds
+        // the ring-buffer span layer.
+        for (label, level) in [
+            ("trace_off", TraceLevel::Off),
+            ("trace_spans", TraceLevel::Spans),
+        ] {
+            let l = EvalLimits {
+                trace: level,
+                ..EvalLimits::default()
+            };
+            g.bench_with_input(BenchmarkId::new(label, len), &db, |b, db| {
+                b.iter(|| run(&ta_program, db, &l).unwrap());
+            });
+        }
     }
     g.finish();
 }

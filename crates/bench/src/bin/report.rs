@@ -7,7 +7,10 @@
 //! ```
 
 use std::time::Instant;
-use tabular_algebra::{parser::parse, run, run_outputs, run_with_stats, EvalLimits, WhileStrategy};
+use tabular_algebra::{
+    parser::parse, run, run_outputs, run_traced, run_with_stats, EvalLimits, TraceLevel,
+    WhileStrategy,
+};
 use tabular_canonical::{check_fds, decode, encode, encode_program, EncodeScheme};
 use tabular_core::{fixtures, Symbol, SymbolSet};
 use tabular_olap::baseline::pivot_direct;
@@ -180,6 +183,58 @@ fn main() {
             ),
             outcome: verdict(ok),
             micros: us_delta,
+        });
+    }
+
+    // The tracing layer on the same closure: spans on, the per-op trace
+    // totals must reconcile exactly with EvalStats (no double counting),
+    // and the Off level must cost roughly nothing relative to Counters.
+    {
+        let p = tabular_bench::ta_tc_program();
+        let db = tabular_bench::ta_chain_db(24);
+        let spans_limits = EvalLimits {
+            trace: TraceLevel::Spans,
+            ..EvalLimits::default()
+        };
+        let ((_, stats, trace), us_spans) = timed(|| run_traced(&p, &db, &spans_limits).unwrap());
+        let reconciled = trace.dropped() == 0 && trace.per_op_micros() == stats.op_micros;
+        let op_sum: u128 = stats.op_micros.values().sum();
+        let decisions = trace.decision_counts();
+        rows.push(Row {
+            id: "Obs",
+            what: format!(
+                "TC 24-chain trace: {} spans, decisions {:?}, op Σ {op_sum}µs ≤ total {}µs",
+                trace.len(),
+                decisions,
+                stats.total_micros
+            ),
+            outcome: verdict(reconciled && op_sum <= stats.total_micros),
+            micros: us_spans,
+        });
+
+        let off_limits = EvalLimits {
+            trace: TraceLevel::Off,
+            ..EvalLimits::default()
+        };
+        // Median of repeated runs: single runs of a sub-10ms workload are
+        // too noisy to compare levels.
+        let median = |l: &EvalLimits| {
+            let mut samples: Vec<u128> = (0..9)
+                .map(|_| timed(|| run(&p, &db, l).unwrap()).1)
+                .collect();
+            samples.sort_unstable();
+            samples[samples.len() / 2]
+        };
+        let us_off = median(&off_limits);
+        let us_counters = median(&EvalLimits::default());
+        rows.push(Row {
+            id: "Obs",
+            what: format!(
+                "TC 24-chain tracing overhead: off {us_off}µs, counters {us_counters}µs, \
+                 spans {us_spans}µs"
+            ),
+            outcome: verdict(us_off > 0),
+            micros: us_off,
         });
     }
 

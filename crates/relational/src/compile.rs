@@ -260,11 +260,28 @@ pub fn run_compiled(
     outputs: &[&str],
     limits: &EvalLimits,
 ) -> Result<RelDatabase> {
+    Ok(run_compiled_traced(p, db, outputs, limits)?.0)
+}
+
+/// Like [`run_compiled`], additionally returning the tabular evaluator's
+/// statistics and structured trace (spans describe the *compiled* TA
+/// statements, so the breakdown shows what the Theorem 4.1 simulation
+/// actually paid for each source-level construct).
+pub fn run_compiled_traced(
+    p: &FoProgram,
+    db: &RelDatabase,
+    outputs: &[&str],
+    limits: &EvalLimits,
+) -> Result<(
+    RelDatabase,
+    tabular_algebra::EvalStats,
+    tabular_algebra::Trace,
+)> {
     let compiled = compile(p);
     let tabular = db.to_tabular();
-    let result = tabular_algebra::run(&compiled, &tabular, limits)?;
+    let (result, stats, trace) = tabular_algebra::run_traced(&compiled, &tabular, limits)?;
     let names: Vec<Symbol> = outputs.iter().map(|n| Symbol::name(n)).collect();
-    RelDatabase::from_tabular(&result, &names)
+    Ok((RelDatabase::from_tabular(&result, &names)?, stats, trace))
 }
 
 #[cfg(test)]
@@ -417,6 +434,27 @@ mod tests {
             .get_str("TC")
             .unwrap()
             .equiv(via_opt.get_str("TC").unwrap()));
+    }
+
+    #[test]
+    fn traced_compilation_exposes_per_op_breakdown() {
+        let db = RelDatabase::from_relations([Relation::new(
+            "E",
+            &["From", "To"],
+            &[&["a", "b"], &["b", "c"], &["c", "d"]],
+        )]);
+        let traced = EvalLimits {
+            trace: tabular_algebra::TraceLevel::Spans,
+            ..EvalLimits::default()
+        };
+        let (out, stats, trace) =
+            run_compiled_traced(&transitive_closure_program(), &db, &["TC"], &traced).unwrap();
+        assert!(out.get_str("TC").is_some());
+        assert_eq!(trace.per_op_micros(), stats.op_micros);
+        // The Theorem 4.1 compilation of TC runs products and differences
+        // inside the loop; the trace must show them.
+        assert!(stats.op_counts.contains_key("PRODUCT"));
+        assert!(trace.spans().any(|s| s.op == "PRODUCT"));
     }
 
     #[test]

@@ -45,4 +45,6 @@ pub use error::SlError;
 pub use eval::{eval, SlLimits, Strategy};
 pub use parser::parse;
 pub use quads::{Quad, QuadDb};
-pub use translate::{order_relation, run_translated, translate, translate_with_order};
+pub use translate::{
+    order_relation, run_translated, run_translated_traced, translate, translate_with_order,
+};

@@ -509,6 +509,17 @@ pub fn run_translated(
     input: &QuadDb,
     limits: &tabular_algebra::EvalLimits,
 ) -> Result<QuadDb> {
+    Ok(run_translated_traced(program, input, limits)?.0)
+}
+
+/// Like [`run_translated`], additionally returning the TA evaluator's
+/// statistics and structured trace for the translated program — the
+/// observability path through the whole SchemaLog_d → FO → TA stack.
+pub fn run_translated_traced(
+    program: &SlProgram,
+    input: &QuadDb,
+    limits: &tabular_algebra::EvalLimits,
+) -> Result<(QuadDb, tabular_algebra::EvalStats, tabular_algebra::Trace)> {
     let ordered = uses_order(program);
     let fo = if ordered {
         translate_with_order(program)?
@@ -520,13 +531,14 @@ pub fn run_translated(
         relations.push(order_relation(input));
     }
     let db = RelDatabase::from_relations(relations);
-    let out = tabular_relational::compile::run_compiled(&fo, &db, &["Quad"], limits)?;
+    let (out, stats, trace) =
+        tabular_relational::compile::run_compiled_traced(&fo, &db, &["Quad"], limits)?;
     let quad =
         out.get(quad_rel())
             .ok_or(SlError::Rel(tabular_relational::RelError::MissingRelation(
                 quad_rel(),
             )))?;
-    Ok(QuadDb::from_relation(quad))
+    Ok((QuadDb::from_relation(quad), stats, trace))
 }
 
 /// Run the same translation but stop at the FO layer (reference point for
@@ -582,6 +594,21 @@ mod tests {
         for q in native.iter() {
             assert!(via_ta.contains(q), "TA path missing {q:?}");
         }
+    }
+
+    #[test]
+    fn traced_translation_reports_ta_spans() {
+        let p = parse("parts[T : part -> P] :- sales[T : part -> P].").unwrap();
+        let traced = EvalLimits {
+            trace: tabular_algebra::TraceLevel::Spans,
+            ..EvalLimits::default()
+        };
+        let (out, stats, trace) = run_translated_traced(&p, &sales_quads(), &traced).unwrap();
+        let plain = run_translated(&p, &sales_quads(), &EvalLimits::default()).unwrap();
+        assert_eq!(out.len(), plain.len(), "tracing must not change results");
+        assert!(!trace.is_empty(), "translated TA statements produce spans");
+        assert_eq!(trace.per_op_micros(), stats.op_micros);
+        assert!(stats.while_iterations > 0, "the fixpoint loop was traced");
     }
 
     #[test]

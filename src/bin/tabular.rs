@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! tabular run program.ta --table sales.csv [--table more.csv …]
-//!         [--out Name …] [--optimize] [--stats]
+//!         [--out Name …] [--optimize] [--stats] [--trace]
 //! ```
 //!
 //! Tables load via the CSV convention of `tabular_core::io` (first record:
@@ -12,7 +12,7 @@
 //! `--out`, every non-scratch table of the final database is printed.
 
 use std::process::ExitCode;
-use tables_paradigm::algebra::{optimize, parser, pretty, run_with_stats, EvalLimits};
+use tables_paradigm::algebra::{optimize, parser, pretty, run_traced, EvalLimits, TraceLevel};
 use tables_paradigm::core::{interner, io, Database, Symbol};
 
 struct Options {
@@ -21,10 +21,11 @@ struct Options {
     outputs: Vec<String>,
     optimize: bool,
     stats: bool,
+    trace: bool,
 }
 
 const USAGE: &str = "usage: tabular run <program.ta> --table <file.csv> [--table …] \
-[--out <Name> …] [--optimize] [--stats]\n       tabular fmt <program.ta>";
+[--out <Name> …] [--optimize] [--stats] [--trace]\n       tabular fmt <program.ta>";
 
 fn parse_args(args: &[String]) -> Result<(String, Options), String> {
     let mut it = args.iter();
@@ -35,6 +36,7 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
         outputs: Vec::new(),
         optimize: false,
         stats: false,
+        trace: false,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -46,6 +48,7 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
                 .push(it.next().ok_or("--out needs a table name")?.clone()),
             "--optimize" => opts.optimize = true,
             "--stats" => opts.stats = true,
+            "--trace" => opts.trace = true,
             _ if arg.starts_with("--") => return Err(format!("unknown flag {arg}\n{USAGE}")),
             _ if opts.program_path.is_empty() => opts.program_path = arg.clone(),
             _ => return Err(format!("unexpected argument {arg}\n{USAGE}")),
@@ -83,8 +86,15 @@ fn execute(command: &str, opts: &Options) -> Result<String, String> {
         program = optimize(&program);
     }
     let db = load_database(&opts.tables)?;
-    let (result, stats) =
-        run_with_stats(&program, &db, &EvalLimits::default()).map_err(|e| e.to_string())?;
+    let limits = EvalLimits {
+        trace: if opts.trace {
+            TraceLevel::Spans
+        } else {
+            TraceLevel::default()
+        },
+        ..EvalLimits::default()
+    };
+    let (result, stats, trace) = run_traced(&program, &db, &limits).map_err(|e| e.to_string())?;
 
     let mut out = String::new();
     let wanted: Vec<Symbol> = opts.outputs.iter().map(|n| Symbol::name(n)).collect();
@@ -110,6 +120,10 @@ fn execute(command: &str, opts: &Options) -> Result<String, String> {
             "while iterations: {}; tables produced: {}; peak table: {} cells\n",
             stats.while_iterations, stats.tables_produced, stats.max_table_cells
         ));
+    }
+    if opts.trace {
+        out.push_str("-- trace --\n");
+        out.push_str(&pretty::render_trace(&trace));
     }
     Ok(out)
 }
@@ -184,6 +198,30 @@ mod tests {
         let out = execute(&cmd, &opts).unwrap();
         assert!(out.contains("-- statistics --"));
         assert!(out.contains("TRANSPOSE"));
+    }
+
+    #[test]
+    fn trace_flag_appends_explain_tree() {
+        let program = write_temp(
+            "trace.ta",
+            "T <- TRANSPOSE(Sales)\n\
+             while W do W <- DIFFERENCE(W, W) end\n",
+        );
+        let work = write_temp("work.csv", "W,A\n_,1\n");
+        let (cmd, opts) = parse_args(&[
+            "run".into(),
+            program,
+            "--table".into(),
+            sales_csv(),
+            "--table".into(),
+            work,
+            "--trace".into(),
+        ])
+        .unwrap();
+        let out = execute(&cmd, &opts).unwrap();
+        assert!(out.contains("-- trace --"), "trace section:\n{out}");
+        assert!(out.contains("TRANSPOSE matched="), "span line:\n{out}");
+        assert!(out.contains("while #1"), "iteration line:\n{out}");
     }
 
     #[test]

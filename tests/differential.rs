@@ -3,7 +3,11 @@
 //!
 //! Random ground `while` programs are run under every combination of
 //! `WhileStrategy::{Naive, Delta}` and `parallel_threshold ∈ {1, ∞}`
-//! (always-sharded vs never-sharded). All four configurations must agree:
+//! (always-sharded vs never-sharded), plus both strategies with
+//! `trace = Spans` so the span-recording path stays exercised (its
+//! per-op totals must reconcile with `EvalStats`, and logical production
+//! accounting must agree between strategies). All configurations must
+//! agree:
 //! either every run fails with the same error, or every run produces the
 //! same database *up to fresh-tag isomorphism* — programs containing
 //! `TUPLENEW` mint different tag symbols on every run, so outputs are
@@ -250,6 +254,13 @@ fn limits(strategy: WhileStrategy, parallel_threshold: usize) -> EvalLimits {
     }
 }
 
+fn spans(strategy: WhileStrategy) -> EvalLimits {
+    EvalLimits {
+        trace: TraceLevel::Spans,
+        ..limits(strategy, usize::MAX)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -263,19 +274,45 @@ proptest! {
             limits(WhileStrategy::Naive, 1),
             limits(WhileStrategy::Delta, usize::MAX),
             limits(WhileStrategy::Delta, 1),
+            spans(WhileStrategy::Naive),
+            spans(WhileStrategy::Delta),
         ];
-        let baseline = run(&program, &db, &configs[0]);
-        let canon_base = baseline.as_ref().map(canonicalize_fresh);
+        let baseline = run_traced(&program, &db, &configs[0]);
+        let canon_base = baseline.as_ref().map(|(out, _, _)| canonicalize_fresh(out));
+        let base_stats = baseline.as_ref().ok().map(|(_, stats, _)| stats);
         for cfg in &configs[1..] {
-            let out = run(&program, &db, cfg);
-            match (&canon_base, &out) {
-                (Ok(expect), Ok(got)) => {
+            let traced = run_traced(&program, &db, cfg);
+            match (&canon_base, &traced) {
+                (Ok(expect), Ok((got, stats, trace))) => {
                     let got = canonicalize_fresh(got);
                     prop_assert!(
                         *expect == got,
                         "outputs diverge under {:?}/threshold {}\nprogram:\n{}\nbaseline:\n{}\ngot:\n{}",
                         cfg.while_strategy, cfg.parallel_threshold, src, expect, got
                     );
+                    // Logical production accounting agrees across
+                    // strategies: delta skips charge their memoized
+                    // output shape.
+                    if let Some(base) = base_stats {
+                        prop_assert_eq!(
+                            base.tables_produced, stats.tables_produced,
+                            "tables_produced diverges under {:?}/threshold {} for program:\n{}",
+                            cfg.while_strategy, cfg.parallel_threshold, src
+                        );
+                        prop_assert_eq!(
+                            base.max_table_cells, stats.max_table_cells,
+                            "max_table_cells diverges under {:?}/threshold {} for program:\n{}",
+                            cfg.while_strategy, cfg.parallel_threshold, src
+                        );
+                    }
+                    // Complete span traces reconcile exactly with stats.
+                    if cfg.trace == TraceLevel::Spans && trace.dropped() == 0 {
+                        prop_assert_eq!(
+                            trace.per_op_micros(), stats.op_micros.clone(),
+                            "trace/stats mismatch under {:?} for program:\n{}",
+                            cfg.while_strategy, src
+                        );
+                    }
                 }
                 (Err(expect), Err(got)) => {
                     prop_assert_eq!(
