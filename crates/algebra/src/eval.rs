@@ -127,6 +127,16 @@ pub struct EvalStats {
     /// changed during the iteration) across all delta-evaluated loops, in
     /// execution order.
     pub delta_dirty_sizes: Vec<usize>,
+    /// Database snapshots (O(1) handle clones) taken during the run,
+    /// including the run's own initial snapshot of the input. Measured by
+    /// differencing the process-wide [`tabular_core::stats`] counters, so
+    /// concurrent evaluations in one process may bleed into each other's
+    /// figures; exact when the process runs one evaluation at a time.
+    pub snapshots: u64,
+    /// Table cell buffers materialized by copy-on-write during the run —
+    /// mutations of tables whose buffers were shared with a snapshot.
+    /// Same measurement caveat as [`EvalStats::snapshots`].
+    pub cow_copies: u64,
 }
 
 impl EvalStats {
@@ -169,7 +179,9 @@ pub fn run_traced(
     db: &Database,
     limits: &EvalLimits,
 ) -> Result<(Database, EvalStats, Trace)> {
-    let mut state = db.clone();
+    let snapshots_base = tabular_core::stats::snapshots();
+    let cow_base = tabular_core::stats::cow_copies();
+    let mut state = db.snapshot();
     let mut metrics = Metrics::new(limits.trace);
     let mut pool = LazyPool::new();
     let start = Instant::now();
@@ -181,6 +193,8 @@ pub fn run_traced(
         &mut pool,
     );
     metrics.stats.total_micros = start.elapsed().as_micros();
+    metrics.stats.snapshots = tabular_core::stats::snapshots().saturating_sub(snapshots_base);
+    metrics.stats.cow_copies = tabular_core::stats::cow_copies().saturating_sub(cow_base);
     outcome?;
     let (stats, trace) = metrics.into_parts();
     Ok((state, stats, trace))
@@ -227,7 +241,7 @@ pub(crate) fn run_statements(
                     DeltaDecision::Executed
                 };
                 let mut iters = 0usize;
-                while db.tables_named(name).iter().any(|t| t.height() > 0) {
+                while db.tables_named_iter(name).any(|t| t.height() > 0) {
                     iters += 1;
                     metrics.stats.while_iterations += 1;
                     if iters > limits.max_while_iters {
@@ -327,7 +341,7 @@ pub(crate) fn compute_results(
                     continue;
                 }
                 names_done.insert(t.name());
-                let group: Vec<&Table> = db.tables_named(t.name());
+                let group: Vec<&Table> = db.tables_named_iter(t.name()).collect();
                 combos += 1;
                 input_cells += group.iter().map(|g| table_cells(g)).sum::<usize>();
                 let target = denote_target(&a.target, &bindings)?;
@@ -441,6 +455,28 @@ pub(crate) fn check_results(
         }
     }
     metrics.note_output(total);
+    Ok(())
+}
+
+/// The [`check_results`] accounting for a result the delta strategy
+/// commits in place instead of materializing: one table of `cells` total
+/// cells. Charging the full (not delta) size keeps `tables_produced` and
+/// `max_table_cells` in agreement with naive re-execution.
+pub(crate) fn check_virtual_result(
+    cells: usize,
+    limits: &EvalLimits,
+    metrics: &mut Metrics,
+) -> Result<()> {
+    metrics.stats.tables_produced += 1;
+    metrics.stats.max_table_cells = metrics.stats.max_table_cells.max(cells);
+    if cells > limits.max_cells {
+        return Err(AlgebraError::LimitExceeded {
+            what: "cells per table",
+            limit: limits.max_cells,
+            attempted: cells,
+        });
+    }
+    metrics.note_output(cells);
     Ok(())
 }
 

@@ -33,6 +33,10 @@ struct Pending {
     input_cells: usize,
     output_cells: usize,
     iteration: Option<usize>,
+    /// Process-wide CoW-copy total when the span opened; `end` differences
+    /// against it so the span shows how many cell buffers its work (child
+    /// spans included) actually materialized.
+    cow_base: u64,
 }
 
 /// Single sink for interpreter statistics and spans (see module docs).
@@ -102,6 +106,7 @@ impl Metrics {
             input_cells: 0,
             output_cells: 0,
             iteration,
+            cow_base: tabular_core::stats::cow_copies(),
         });
     }
 
@@ -138,6 +143,7 @@ impl Metrics {
             input_cells: p.input_cells,
             output_cells: p.output_cells,
             micros,
+            cow_copies: tabular_core::stats::cow_copies().saturating_sub(p.cow_base),
             decision,
             shard: None,
             iteration: p.iteration,
@@ -161,6 +167,7 @@ impl Metrics {
             input_cells: 0,
             output_cells: 0,
             micros,
+            cow_copies: 0,
             decision: DeltaDecision::Executed,
             shard: Some(shard),
             iteration: None,
@@ -184,6 +191,7 @@ impl Metrics {
             input_cells: 0,
             output_cells,
             micros: 0,
+            cow_copies: 0,
             decision: DeltaDecision::DeltaSkipped,
             shard: None,
             iteration: None,

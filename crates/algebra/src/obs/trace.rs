@@ -113,6 +113,11 @@ pub struct Span {
     /// Wall time, µs — the same measurement that feeds
     /// `EvalStats::op_micros`.
     pub micros: u128,
+    /// Table cell-buffer copies that materialized under copy-on-write
+    /// while this span was open (inclusive of child spans; measured by
+    /// differencing the process-wide [`tabular_core::stats`] counter, so
+    /// concurrent evaluations can bleed in). 0 for skip and shard spans.
+    pub cow_copies: u64,
     /// Delta-strategy decision.
     pub decision: DeltaDecision,
     /// Shard id for [`SpanKind::Shard`] spans.
@@ -207,7 +212,8 @@ impl Trace {
                 out,
                 "{{\"id\":{},\"parent\":{},\"kind\":\"{}\",\"op\":\"{}\",\
                  \"matched\":{},\"input_cells\":{},\"output_cells\":{},\
-                 \"micros\":{},\"decision\":\"{}\",\"shard\":{},\"iteration\":{}}}",
+                 \"micros\":{},\"cow_copies\":{},\"decision\":\"{}\",\
+                 \"shard\":{},\"iteration\":{}}}",
                 s.id,
                 opt_json(s.parent),
                 s.kind.as_str(),
@@ -216,6 +222,7 @@ impl Trace {
                 s.input_cells,
                 s.output_cells,
                 s.micros,
+                s.cow_copies,
                 s.decision.as_str(),
                 opt_json(s.shard),
                 opt_json(s.iteration),
@@ -259,6 +266,7 @@ mod tests {
             input_cells: 4,
             output_cells: 4,
             micros,
+            cow_copies: 0,
             decision: DeltaDecision::Executed,
             shard: None,
             iteration: None,

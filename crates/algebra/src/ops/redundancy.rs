@@ -79,21 +79,23 @@ pub fn cleanup(r: &Table, by: &SymbolSet, on: &SymbolSet, name: Symbol) -> Table
     for j in 1..=r.width() {
         t.set(0, j, r.col_attr(j));
     }
-    for i in 1..=r.height() {
-        match group_of_row[i] {
-            None => t.push_row(r.storage_row(i).to_vec()),
-            Some(g) => match &joined[g] {
-                // Merged group: emit the join at the first member's slot.
-                Some(join) => {
-                    if groups[g].first_row == i {
-                        t.push_row(join.clone());
+    t.append_rows(|rows| {
+        for i in 1..=r.height() {
+            match group_of_row[i] {
+                None => rows.push_row(r.storage_row(i)),
+                Some(g) => match &joined[g] {
+                    // Merged group: emit the join at the first member's slot.
+                    Some(join) => {
+                        if groups[g].first_row == i {
+                            rows.push_row(join);
+                        }
                     }
-                }
-                // No common subsumer: retain the original rows.
-                None => t.push_row(r.storage_row(i).to_vec()),
-            },
+                    // No common subsumer: retain the original rows.
+                    None => rows.push_row(r.storage_row(i)),
+                },
+            }
         }
-    }
+    });
     t
 }
 

@@ -25,19 +25,24 @@ pub fn union(r: &Table, s: &Table, name: Symbol) -> Table {
     for j in 1..=s.width() {
         t.set(0, r.width() + j, s.col_attr(j));
     }
-    for i in 1..=r.height() {
-        let mut row = Vec::with_capacity(width + 1);
-        row.extend_from_slice(r.storage_row(i));
-        row.extend(std::iter::repeat_n(Symbol::Null, s.width()));
-        t.push_row(row);
-    }
-    for k in 1..=s.height() {
-        let mut row = Vec::with_capacity(width + 1);
-        row.push(s.get(k, 0));
-        row.extend(std::iter::repeat_n(Symbol::Null, r.width()));
-        row.extend_from_slice(s.data_row(k));
-        t.push_row(row);
-    }
+    t.append_rows(|rows| {
+        rows.reserve_rows(r.height() + s.height());
+        for i in 1..=r.height() {
+            rows.push_row_iter(
+                r.storage_row(i)
+                    .iter()
+                    .copied()
+                    .chain(std::iter::repeat_n(Symbol::Null, s.width())),
+            );
+        }
+        for k in 1..=s.height() {
+            rows.push_row_iter(
+                std::iter::once(s.get(k, 0))
+                    .chain(std::iter::repeat_n(Symbol::Null, r.width()))
+                    .chain(s.data_row(k).iter().copied()),
+            );
+        }
+    });
     t
 }
 
@@ -112,18 +117,23 @@ pub fn product(r: &Table, s: &Table, name: Symbol) -> Table {
 /// rows since the product was last computed and `σ` is unchanged, the new
 /// product is the cached output plus exactly these rows.
 pub fn product_append(acc: &mut Table, r: &Table, from_row: usize, s: &Table) {
-    let width = r.width() + s.width();
-    debug_assert_eq!(acc.width(), width, "product_append width mismatch");
-    for i in from_row..=r.height() {
-        for k in 1..=s.height() {
-            let attr = r.get(i, 0).join(s.get(k, 0)).unwrap_or_else(|| r.get(i, 0));
-            let mut row = Vec::with_capacity(width + 1);
-            row.push(attr);
-            row.extend_from_slice(r.data_row(i));
-            row.extend_from_slice(s.data_row(k));
-            acc.push_row(row);
-        }
+    debug_assert_eq!(
+        acc.width(),
+        r.width() + s.width(),
+        "product_append width mismatch"
+    );
+    if from_row > r.height() {
+        return;
     }
+    acc.append_rows(|rows| {
+        rows.reserve_rows((r.height() + 1 - from_row) * s.height());
+        for i in from_row..=r.height() {
+            for k in 1..=s.height() {
+                let attr = r.get(i, 0).join(s.get(k, 0)).unwrap_or_else(|| r.get(i, 0));
+                rows.push_row_parts(attr, r.data_row(i), s.data_row(k));
+            }
+        }
+    });
 }
 
 /// Renaming `T ← RENAME_{B←A}(R)`: every column attribute equal to `a`

@@ -329,7 +329,7 @@ mod tests {
     /// Compare databases on their user-visible (non-scratch) tables.
     fn compare_visible(a: &Database, b: &Database) -> bool {
         let strip = |db: &Database| {
-            let mut out = db.clone();
+            let mut out = db.snapshot();
             out.retain(|t| !is_scratch(t.name()));
             out
         };

@@ -300,10 +300,15 @@ fn render_trace_line(s: &Span, depth: usize, out: &mut String) {
                 writeln!(out, "{} (delta-skipped, {} tables cached)", s.op, s.matched).unwrap();
             }
             _ => {
+                let cow = if s.cow_copies > 0 {
+                    format!(" cow={}", s.cow_copies)
+                } else {
+                    String::new()
+                };
                 writeln!(
                     out,
-                    "{} matched={} in={} out={} [{} µs]",
-                    s.op, s.matched, s.input_cells, s.output_cells, s.micros
+                    "{} matched={} in={} out={}{} [{} µs]",
+                    s.op, s.matched, s.input_cells, s.output_cells, cow, s.micros
                 )
                 .unwrap();
             }

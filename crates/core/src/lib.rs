@@ -39,6 +39,7 @@ pub mod error;
 pub mod fixtures;
 pub mod interner;
 pub mod io;
+pub mod stats;
 pub mod symbol;
 pub mod table;
 pub mod weak;
@@ -49,5 +50,5 @@ pub use database::Database;
 pub use error::CoreError;
 pub use interner::Istr;
 pub use symbol::Symbol;
-pub use table::Table;
+pub use table::{RowAppender, Table};
 pub use weak::SymbolSet;

@@ -124,4 +124,50 @@ mod tests {
         let t = Table::from_grid(&[&["T", "v:Data", "n:Attr"], &["v:row", "_", "n:Name"]]).unwrap();
         assert_eq!(round_trip_table(&t), t);
     }
+
+    /// Structural sharing is invisible to serialization: a handle that
+    /// shares its cell buffer with another serializes to exactly the same
+    /// grid as an unshared deep rebuild, and both round-trip to the
+    /// original.
+    #[test]
+    fn shared_and_unshared_handles_serialize_identically() {
+        use proptest::prelude::*;
+        use proptest::test_runner::{Config, TestRunner};
+
+        fn cell() -> impl Strategy<Value = Symbol> {
+            prop_oneof![
+                (0u8..4).prop_map(|i| Symbol::name(&format!("{}", (b'A' + i) as char))),
+                (0u8..8).prop_map(|i| Symbol::value(&format!("v{i}"))),
+                Just(Symbol::Null),
+            ]
+        }
+        let table = (1usize..4, 1usize..4).prop_flat_map(move |(h, w)| {
+            proptest::collection::vec(cell(), (h + 1) * (w + 1) - 1).prop_map(move |cells| {
+                let mut t = Table::new(Symbol::name("T"), h, w);
+                let mut it = cells.into_iter();
+                for i in 0..=h {
+                    for j in 0..=w {
+                        if i == 0 && j == 0 {
+                            continue;
+                        }
+                        t.set(i, j, it.next().expect("sized"));
+                    }
+                }
+                t
+            })
+        });
+
+        let mut runner = TestRunner::new(Config::default());
+        runner
+            .run(&table, |t| {
+                let shared = t.clone();
+                assert!(shared.shares_cells_with(&t));
+                let unshared = round_trip_table(&t);
+                assert!(!unshared.shares_cells_with(&t));
+                assert_eq!(serde_json_like(&shared), serde_json_like(&unshared));
+                assert_eq!(round_trip_table(&shared), t);
+                Ok(())
+            })
+            .unwrap();
+    }
 }

@@ -1,0 +1,67 @@
+//! Process-wide storage-engine counters.
+//!
+//! The structurally shared store ([`crate::Table`], [`crate::Database`])
+//! makes three events interesting that a deep-copy store has no use for:
+//! taking an O(1) *snapshot* (cloning a database handle), materializing a
+//! table's cell buffer under copy-on-write (a *CoW copy*), and copying the
+//! store's handle vector when a shared database is mutated (a *store
+//! copy*). These counters are the ground truth that the evaluator's
+//! `EvalStats` and the allocation-regression test read: they are global
+//! monotonic totals, so callers measure a region of interest by
+//! differencing (`let before = cow_copies(); …; cow_copies() - before`).
+//!
+//! The counters are `Relaxed` atomics — they order nothing and cost one
+//! uncontended RMW per event, which only fires on the cold (copying)
+//! paths anyway.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SNAPSHOTS: AtomicU64 = AtomicU64::new(0);
+static COW_COPIES: AtomicU64 = AtomicU64::new(0);
+static STORE_COPIES: AtomicU64 = AtomicU64::new(0);
+
+/// Total database snapshots (handle clones) taken by this process.
+pub fn snapshots() -> u64 {
+    SNAPSHOTS.load(Ordering::Relaxed)
+}
+
+/// Total table cell buffers materialized by copy-on-write: mutations of
+/// a table whose cells were shared with at least one other handle.
+pub fn cow_copies() -> u64 {
+    COW_COPIES.load(Ordering::Relaxed)
+}
+
+/// Total store (table-handle vector + indexes) copies made when mutating
+/// a database whose store was shared with a snapshot. A store copy
+/// duplicates the *handles*, never the cell buffers.
+pub fn store_copies() -> u64 {
+    STORE_COPIES.load(Ordering::Relaxed)
+}
+
+pub(crate) fn record_snapshot() {
+    SNAPSHOTS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_cow_copy() {
+    COW_COPIES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_store_copy() {
+    STORE_COPIES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic() {
+        let (s0, c0, t0) = (snapshots(), cow_copies(), store_copies());
+        record_snapshot();
+        record_cow_copy();
+        record_store_copy();
+        assert!(snapshots() > s0);
+        assert!(cow_copies() > c0);
+        assert!(store_copies() > t0);
+    }
+}

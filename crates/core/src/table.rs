@@ -14,17 +14,66 @@
 //! Unlike relations, rows *and* columns may carry (possibly repeated,
 //! possibly absent) attributes, data may occur in attribute positions, and
 //! the width of a table is per-instance, not per-scheme.
+//!
+//! ## Storage
+//!
+//! A `Table` is a cheap *handle*: the cell matrix lives behind an
+//! [`Arc`], so cloning a table (and, one level up, snapshotting a
+//! [`Database`](crate::Database)) copies a pointer, not the buffer.
+//! Mutation goes through [`Arc::make_mut`] — the buffer is copied lazily,
+//! only when it is actually shared (copy-on-write; materializations are
+//! counted in [`crate::stats::cow_copies`]). Each handle also caches a
+//! 64-bit content [`fingerprint`](Table::fingerprint), computed on first
+//! demand and invalidated by mutation, which the database's dedup index
+//! and the delta evaluator's version tracking key on.
 
 use crate::error::CoreError;
 use crate::symbol::{parse_cell, Symbol};
 use crate::weak::SymbolSet;
+use std::sync::{Arc, OnceLock};
 
 /// A table of the tabular database model. See the module docs.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// Cloning is O(1): the cell buffer is [`Arc`]-shared and copied only on
+/// mutation (copy-on-write). The derived `Clone` also carries the cached
+/// fingerprint, so clones of a fingerprinted table stay fingerprinted.
+#[derive(Clone, Debug)]
 pub struct Table {
     height: usize,
     width: usize,
-    cells: Vec<Symbol>,
+    cells: Arc<Vec<Symbol>>,
+    /// Cached content fingerprint; set on first demand, cleared by any
+    /// mutation. Cloned together with the handle.
+    fp: OnceLock<u64>,
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Table) -> bool {
+        if self.height != other.height || self.width != other.width {
+            return false;
+        }
+        // Structurally shared handles are equal without looking at cells.
+        if Arc::ptr_eq(&self.cells, &other.cells) {
+            return true;
+        }
+        // Already-computed fingerprints give a cheap negative.
+        if let (Some(a), Some(b)) = (self.fp.get(), other.fp.get()) {
+            if a != b {
+                return false;
+            }
+        }
+        self.cells == other.cells
+    }
+}
+
+impl Eq for Table {}
+
+impl std::hash::Hash for Table {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.height.hash(state);
+        self.width.hash(state);
+        self.cells.hash(state);
+    }
 }
 
 impl Table {
@@ -37,11 +86,71 @@ impl Table {
     pub fn new(name: Symbol, height: usize, width: usize) -> Table {
         let mut cells = vec![Symbol::Null; (height + 1) * (width + 1)];
         cells[0] = name;
+        Table::from_parts(height, width, cells)
+    }
+
+    /// Wrap a freshly built cell buffer in a handle (no fingerprint yet).
+    fn from_parts(height: usize, width: usize, cells: Vec<Symbol>) -> Table {
+        debug_assert_eq!(cells.len(), (height + 1) * (width + 1));
         Table {
             height,
             width,
-            cells,
+            cells: Arc::new(cells),
+            fp: OnceLock::new(),
         }
+    }
+
+    /// Mutable access to the cell buffer: invalidates the cached
+    /// fingerprint and materializes a private copy iff the buffer is
+    /// shared (counted in [`crate::stats::cow_copies`]).
+    fn cells_mut(&mut self) -> &mut Vec<Symbol> {
+        self.fp.take();
+        if Arc::get_mut(&mut self.cells).is_none() {
+            crate::stats::record_cow_copy();
+        }
+        Arc::make_mut(&mut self.cells)
+    }
+
+    /// Replace the cell buffer wholesale (structural rebuilds like
+    /// [`Table::push_col`]); not a copy-on-write event.
+    fn replace_cells(&mut self, cells: Vec<Symbol>) {
+        self.fp.take();
+        self.cells = Arc::new(cells);
+    }
+
+    /// The 64-bit content fingerprint: an FNV-1a-style hash over the
+    /// dimensions and every cell, computed once and cached until the next
+    /// mutation. Symbols hash by their interner index, which is stable for
+    /// the lifetime of the process (fingerprints are *not* stable across
+    /// processes and never serialized). Equal tables have equal
+    /// fingerprints; the converse holds only modulo 64-bit collisions, so
+    /// exact code paths (dedup, set semantics) use the fingerprint as a
+    /// filter and confirm with `==`.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fp.get_or_init(|| {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut mix = |x: u64| {
+                h ^= x;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            };
+            mix(self.height as u64);
+            mix(self.width as u64);
+            for &s in self.cells.iter() {
+                mix(match s {
+                    Symbol::Null => 0,
+                    Symbol::Name(i) => 1 | (u64::from(i.index()) << 2),
+                    Symbol::Value(i) => 2 | (u64::from(i.index()) << 2),
+                });
+            }
+            h
+        })
+    }
+
+    /// True if the two handles share one cell buffer (no copy has
+    /// materialized between them). Diagnostic; equality of content is
+    /// `==`.
+    pub fn shares_cells_with(&self, other: &Table) -> bool {
+        Arc::ptr_eq(&self.cells, &other.cells)
     }
 
     /// Build a table from a grid of cells in the cell syntax of
@@ -89,11 +198,7 @@ impl Table {
                 cells.push(parse_cell(cell, default));
             }
         }
-        Ok(Table {
-            height,
-            width,
-            cells,
-        })
+        Ok(Table::from_parts(height, width, cells))
     }
 
     /// Convenience constructor for a *relational* table: named columns,
@@ -180,7 +285,7 @@ impl Table {
             "set({i},{j}) out of bounds"
         );
         let ix = self.idx(i, j);
-        self.cells[ix] = s;
+        self.cells_mut()[ix] = s;
     }
 
     // ------------------------------------------------------------------
@@ -194,7 +299,7 @@ impl Table {
 
     /// Rename the table.
     pub fn set_name(&mut self, name: Symbol) {
-        self.cells[0] = name;
+        self.cells_mut()[0] = name;
     }
 
     /// The column attributes `τ₀^(>0)` (length = width).
@@ -360,8 +465,37 @@ impl Table {
     /// data entries. Length must be `width + 1`.
     pub fn push_row(&mut self, row: Vec<Symbol>) {
         assert_eq!(row.len(), self.width + 1, "push_row arity mismatch");
-        self.cells.extend(row);
+        self.cells_mut().extend(row);
         self.height += 1;
+    }
+
+    /// Append a data row given as a slice (row attribute first), avoiding
+    /// the caller-side `Vec` of [`Table::push_row`].
+    pub fn push_row_slice(&mut self, row: &[Symbol]) {
+        assert_eq!(row.len(), self.width + 1, "push_row arity mismatch");
+        self.cells_mut().extend_from_slice(row);
+        self.height += 1;
+    }
+
+    /// Append a batch of data rows through a [`RowAppender`], paying the
+    /// copy-on-write materialization, fingerprint invalidation, and
+    /// shared-buffer check **once** for the whole batch instead of once
+    /// per row. The row-building loops of the algebra (products, unions,
+    /// clean-ups) run through this; per-row [`Table::push_row`] costs an
+    /// atomic uniqueness check on every call, which is measurable at
+    /// product scale.
+    pub fn append_rows<R>(&mut self, f: impl FnOnce(&mut RowAppender<'_>) -> R) -> R {
+        let width = self.width;
+        let cells = self.cells_mut();
+        let mut appender = RowAppender {
+            cells,
+            width,
+            added: 0,
+        };
+        let out = f(&mut appender);
+        let added = appender.added;
+        self.height += added;
+        out
     }
 
     /// Append a data column: `col[0]` is the column attribute, `col[1..]`
@@ -374,24 +508,20 @@ impl Table {
             cells.extend_from_slice(&self.cells[i * old_w..(i + 1) * old_w]);
             cells.push(extra);
         }
-        self.cells = cells;
+        self.replace_cells(cells);
         self.width += 1;
     }
 
     /// Keep only the data rows at the given indices (in the given order;
     /// repetitions allowed). Row 0 is always kept.
     pub fn select_rows(&self, rows: &[usize]) -> Table {
-        let mut t = Table {
-            height: rows.len(),
-            width: self.width,
-            cells: Vec::with_capacity((rows.len() + 1) * (self.width + 1)),
-        };
-        t.cells.extend_from_slice(self.storage_row(0));
+        let mut cells = Vec::with_capacity((rows.len() + 1) * (self.width + 1));
+        cells.extend_from_slice(self.storage_row(0));
         for &i in rows {
             assert!((1..=self.height).contains(&i));
-            t.cells.extend_from_slice(self.storage_row(i));
+            cells.extend_from_slice(self.storage_row(i));
         }
-        t
+        Table::from_parts(rows.len(), self.width, cells)
     }
 
     /// Keep only the data columns at the given indices (in the given order;
@@ -405,11 +535,7 @@ impl Table {
                 cells.push(self.get(i, j));
             }
         }
-        Table {
-            height: self.height,
-            width: cols.len(),
-            cells,
-        }
+        Table::from_parts(self.height, cols.len(), cells)
     }
 
     /// Keep data rows satisfying `pred` (called with the row index).
@@ -459,11 +585,11 @@ impl Table {
 
     /// Apply `f` to every cell (used by tests for genericity morphisms).
     pub fn map_symbols(&self, mut f: impl FnMut(Symbol) -> Symbol) -> Table {
-        Table {
-            height: self.height,
-            width: self.width,
-            cells: self.cells.iter().map(|&s| f(s)).collect(),
-        }
+        Table::from_parts(
+            self.height,
+            self.width,
+            self.cells.iter().map(|&s| f(s)).collect(),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -620,6 +746,56 @@ impl Table {
     pub fn dedup_rows(&self) -> Table {
         let mut seen = std::collections::HashSet::new();
         self.retain_rows(|i| seen.insert(self.storage_row(i).to_vec()))
+    }
+}
+
+/// Writer handle for one [`Table::append_rows`] batch: the cell buffer is
+/// already uniquely owned, so each push is a plain `Vec` extend. Rows are
+/// arity-checked exactly as [`Table::push_row`] checks them; the table's
+/// height is updated when the batch closes.
+pub struct RowAppender<'a> {
+    cells: &'a mut Vec<Symbol>,
+    width: usize,
+    added: usize,
+}
+
+impl RowAppender<'_> {
+    /// Reserve buffer space for `rows` further data rows.
+    pub fn reserve_rows(&mut self, rows: usize) {
+        self.cells.reserve(rows * (self.width + 1));
+    }
+
+    /// Append one data row (row attribute first, then the entries).
+    pub fn push_row(&mut self, row: &[Symbol]) {
+        assert_eq!(row.len(), self.width + 1, "push_row arity mismatch");
+        self.cells.extend_from_slice(row);
+        self.added += 1;
+    }
+
+    /// Append the data row `attr · left · right` without materializing it
+    /// first — the shape every product row has.
+    pub fn push_row_parts(&mut self, attr: Symbol, left: &[Symbol], right: &[Symbol]) {
+        assert_eq!(
+            1 + left.len() + right.len(),
+            self.width + 1,
+            "push_row arity mismatch"
+        );
+        self.cells.push(attr);
+        self.cells.extend_from_slice(left);
+        self.cells.extend_from_slice(right);
+        self.added += 1;
+    }
+
+    /// Append one data row from an iterator of its `width + 1` symbols.
+    pub fn push_row_iter(&mut self, row: impl IntoIterator<Item = Symbol>) {
+        let before = self.cells.len();
+        self.cells.extend(row);
+        assert_eq!(
+            self.cells.len() - before,
+            self.width + 1,
+            "push_row arity mismatch"
+        );
+        self.added += 1;
     }
 }
 
@@ -844,6 +1020,85 @@ mod tests {
         let t = sales();
         assert!(t.try_get(0, 0).is_ok());
         assert!(t.try_get(4, 0).is_err());
+    }
+
+    #[test]
+    fn clone_shares_cells_until_mutation() {
+        let t = sales();
+        let mut c = t.clone();
+        assert!(t.shares_cells_with(&c));
+        assert_eq!(t, c);
+        c.set(1, 1, Symbol::value("washers"));
+        assert!(!t.shares_cells_with(&c));
+        assert_ne!(t, c);
+        assert_eq!(t.get(1, 1), Symbol::value("nuts"));
+    }
+
+    #[test]
+    fn mutating_a_uniquely_owned_table_does_not_reallocate() {
+        let mut t = sales();
+        let before = std::sync::Arc::as_ptr(&t.cells);
+        t.set(1, 1, Symbol::value("washers"));
+        assert_eq!(std::sync::Arc::as_ptr(&t.cells), before);
+    }
+
+    #[test]
+    fn mutating_a_shared_table_counts_a_cow_copy() {
+        let t = sales();
+        let mut c = t.clone();
+        let before = crate::stats::cow_copies();
+        c.set(1, 1, Symbol::value("washers"));
+        assert!(crate::stats::cow_copies() > before);
+    }
+
+    #[test]
+    fn fingerprint_caches_and_invalidates() {
+        let t = sales();
+        let f = t.fingerprint();
+        assert_eq!(t.fingerprint(), f);
+        // The cache travels with the clone…
+        assert_eq!(t.clone().fingerprint(), f);
+        // …and mutation invalidates it.
+        let mut m = t.clone();
+        m.set(1, 1, Symbol::value("x"));
+        assert_ne!(m.fingerprint(), f);
+        // Restoring the content restores the fingerprint.
+        m.set(1, 1, Symbol::value("nuts"));
+        assert_eq!(m.fingerprint(), f);
+        assert_eq!(m, t);
+    }
+
+    #[test]
+    fn fingerprint_agrees_across_independent_builds() {
+        let a = sales();
+        let b = sales();
+        assert!(!a.shares_cells_with(&b));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_shape_and_content() {
+        let a = Table::relational("T", &["A"], &[&["1"]]);
+        let b = Table::relational("T", &["A"], &[&["2"]]);
+        let c = Table::relational("U", &["A"], &[&["1"]]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn push_row_slice_matches_push_row() {
+        let mut a = sales();
+        let mut b = sales();
+        let row = vec![
+            Symbol::Null,
+            Symbol::value("screws"),
+            Symbol::value("north"),
+            Symbol::value("60"),
+        ];
+        a.push_row(row.clone());
+        b.push_row_slice(&row);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -235,11 +235,11 @@ impl RelDatabase {
     pub fn from_tabular(db: &tabular_core::Database, names: &[Symbol]) -> Result<RelDatabase> {
         let mut out = RelDatabase::new();
         for &name in names {
-            let tables = db.tables_named(name);
-            match tables.as_slice() {
-                [t] => out.set(Relation::from_table(t)?),
-                [] => return Err(RelError::MissingRelation(name)),
-                _ => return Err(RelError::AmbiguousRelation(name)),
+            let mut tables = db.tables_named_iter(name);
+            match (tables.next(), tables.next()) {
+                (Some(t), None) => out.set(Relation::from_table(t)?),
+                (None, _) => return Err(RelError::MissingRelation(name)),
+                (Some(_), Some(_)) => return Err(RelError::AmbiguousRelation(name)),
             }
         }
         Ok(out)

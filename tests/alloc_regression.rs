@@ -1,0 +1,183 @@
+//! Allocation regression for the structurally shared storage engine.
+//!
+//! Snapshots are the engine's whole reason to exist: the evaluator takes
+//! one per run and the delta `while` strategy leans on handle sharing
+//! every iteration, so a regression that silently reintroduces deep
+//! copies would erase the engine's advantage without failing any
+//! functional test. Two guards here:
+//!
+//! 1. A counting `#[global_allocator]` proves `Database::snapshot` hits
+//!    the allocator **zero** times, no matter how large the database.
+//! 2. The process-wide copy-on-write counter
+//!    (`tabular_core::stats::cow_copies`) proves a delta `while` run
+//!    whose body statements stop writing never materializes a cell
+//!    buffer: snapshots stay handle-only when nobody writes.
+//!
+//! This file deliberately holds a single `#[test]`: both guards read
+//! process-global counters, and a sibling test running on another thread
+//! would perturb them.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use tables_paradigm::core::stats;
+use tables_paradigm::prelude::*;
+
+/// Counts allocator hits while armed; delegates to the system allocator.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A database big enough that any deep copy would be unmissable: 32
+/// tables of 200×4 cells each.
+fn big_database() -> Database {
+    Database::from_tables((0..32).map(|t| {
+        let rows: Vec<Vec<String>> = (0..200)
+            .map(|i| (0..4).map(|j| format!("v{t}_{i}_{j}")).collect())
+            .collect();
+        let rows: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let rows: Vec<&[&str]> = rows.iter().map(Vec::as_slice).collect();
+        let table = Table::relational(&format!("T{t}"), &["A", "B", "C", "D"], &rows);
+        table.fingerprint(); // warm the cache so snapshots share it
+        table
+    }))
+}
+
+#[test]
+fn snapshots_allocate_nothing_and_copy_no_cell_buffers() {
+    // ------------------------------------------------------------------
+    // Guard 1: snapshots never touch the allocator.
+    // ------------------------------------------------------------------
+    let db = big_database();
+    const SNAPSHOTS: usize = 256;
+    let mut snaps: Vec<Database> = Vec::with_capacity(SNAPSHOTS);
+
+    let snap_base = stats::snapshots();
+    let cow_base = stats::cow_copies();
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..SNAPSHOTS {
+        snaps.push(db.snapshot());
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert_eq!(
+        ALLOCS.load(Ordering::SeqCst),
+        0,
+        "Database::snapshot must be allocation-free"
+    );
+    assert_eq!(stats::snapshots() - snap_base, SNAPSHOTS as u64);
+    assert_eq!(
+        stats::cow_copies(),
+        cow_base,
+        "snapshots must not materialize cell buffers"
+    );
+    for snap in &snaps {
+        assert!(snap.tables()[0].shares_cells_with(&db.tables()[0]));
+    }
+    drop(snaps);
+
+    // ------------------------------------------------------------------
+    // Guard 2: a `while` body that never writes copies no cell buffers,
+    // however many iterations the loop spins. `T` is pre-seeded with
+    // exactly what the body recomputes, so from iteration 2 on the delta
+    // strategy skips the statement outright and the loop diverges into
+    // the iteration limit — 50 iterations of snapshot-backed reads with
+    // zero copy-on-write materializations.
+    // ------------------------------------------------------------------
+    let r = Table::relational("R", &["A", "B"], &[&["1", "x"], &["2", "y"]]);
+    let s = Table::relational("S", &["C"], &[&["1"]]);
+    let seeded_t = Table::relational("T", &["A", "B", "C"], &[&["1", "x", "1"], &["2", "y", "1"]]);
+    let program = parse("while W do T <- PRODUCT(R, S) end").unwrap();
+    let input = Database::from_tables([
+        r.clone(),
+        s.clone(),
+        seeded_t,
+        Table::relational("W", &["K"], &[&["go"]]),
+    ]);
+    let limits = EvalLimits {
+        while_strategy: WhileStrategy::Delta,
+        max_while_iters: 50,
+        ..EvalLimits::default()
+    };
+    let cow_before = stats::cow_copies();
+    let err = run(&program, &input, &limits).unwrap_err();
+    assert!(
+        err.to_string().contains("while"),
+        "the non-writing loop diverges into the iteration limit, got: {err}"
+    );
+    assert_eq!(
+        stats::cow_copies(),
+        cow_before,
+        "a non-writing while body must not trigger copy-on-write"
+    );
+
+    // ------------------------------------------------------------------
+    // Guard 3: the same holds for a terminating run with observable
+    // skips — every operation in this body builds its output buffer
+    // fresh, so the whole run (snapshots, delta skips, commits) performs
+    // zero copy-on-write materializations.
+    // ------------------------------------------------------------------
+    let program = parse(
+        "while W do
+           T <- PRODUCT(R, S)
+           W <- DIFFERENCE(W2, X)
+           W2 <- DIFFERENCE(W3, X)
+           W3 <- DIFFERENCE(W3, W3)
+         end",
+    )
+    .unwrap();
+    let input = Database::from_tables([
+        r,
+        s,
+        Table::relational("X", &["K"], &[&["other"]]),
+        Table::relational("W", &["K"], &[&["go"]]),
+        Table::relational("W2", &["K"], &[&["go"]]),
+        Table::relational("W3", &["K"], &[&["go"]]),
+    ]);
+    let limits = EvalLimits {
+        while_strategy: WhileStrategy::Delta,
+        ..EvalLimits::default()
+    };
+    let (out, run_stats) = run_with_stats(&program, &input, &limits).unwrap();
+
+    assert!(run_stats.snapshots >= 1, "the run snapshots its input");
+    assert!(
+        run_stats.while_delta_skipped > 0,
+        "quiet body statements are delta-skipped"
+    );
+    assert_eq!(
+        run_stats.cow_copies, 0,
+        "fresh-building operations never trigger copy-on-write"
+    );
+    // The run left the caller's database untouched.
+    assert_eq!(input.table_str("W").unwrap().height(), 1);
+    assert_eq!(out.table_str("W").unwrap().height(), 0);
+}

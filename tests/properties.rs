@@ -67,6 +67,66 @@ proptest! {
     }
 
     // ------------------------------------------------------------------
+    // Storage engine: structural sharing never leaks writes.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn snapshot_mutation_never_alters_the_original(db in arb_database()) {
+        use tables_paradigm::core::io::to_csv;
+        // An independent materialization of the original contents: handle
+        // equality would pass even if a write leaked through a shared
+        // buffer, rendered bytes cannot.
+        let before: Vec<String> = db.tables().iter().map(to_csv).collect();
+
+        // Route 1: in-store writes on a snapshot.
+        let mut snap = db.snapshot();
+        for name in db.names().iter() {
+            snap.update_named(name, |t| {
+                t.push_row(vec![Symbol::value("mutant"); t.width() + 1]);
+                t.set(1, 0, Symbol::value("mutant"));
+            });
+        }
+        snap.insert(Table::relational("Mutant", &["A"], &[&["1"]]));
+        snap.retain(|t| t.height() > 1);
+
+        // Route 2: direct writes through a handle cloned out of a snapshot.
+        let snap2 = db.snapshot();
+        for t in snap2.tables() {
+            let mut h = t.clone();
+            prop_assert!(h.shares_cells_with(t));
+            for i in 1..=h.height() {
+                for j in 0..=h.width() {
+                    h.set(i, j, Symbol::value("x"));
+                }
+            }
+            prop_assert!(!h.shares_cells_with(t));
+        }
+
+        let after: Vec<String> = db.tables().iter().map(to_csv).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn shared_and_unshared_tables_round_trip_identically(t in arb_table()) {
+        use tables_paradigm::core::io::{from_csv, to_csv};
+        let shared = t.clone();
+        prop_assert!(shared.shares_cells_with(&t));
+        // Rebuild an unshared twin cell by cell.
+        let mut unshared = Table::new(t.name(), t.height(), t.width());
+        for i in 0..=t.height() {
+            for j in 0..=t.width() {
+                unshared.set(i, j, t.get(i, j));
+            }
+        }
+        prop_assert!(!unshared.shares_cells_with(&t));
+        let bytes_shared = to_csv(&shared);
+        let bytes_unshared = to_csv(&unshared);
+        prop_assert_eq!(&bytes_shared, &bytes_unshared);
+        let back = from_csv(&bytes_shared).expect("csv round trip");
+        prop_assert_eq!(back, t);
+    }
+
+    // ------------------------------------------------------------------
     // Traditional operations (§3.1)
     // ------------------------------------------------------------------
 
