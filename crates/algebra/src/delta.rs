@@ -37,7 +37,7 @@
 use crate::error::{AlgebraError, Result};
 use crate::eval::{
     check_results, check_table_count, check_virtual_result, compute_results, replace_results,
-    table_cells, EvalLimits,
+    table_cells, Exec,
 };
 use crate::obs::metrics::Metrics;
 use crate::obs::trace::{DeltaDecision, SpanKind};
@@ -141,7 +141,7 @@ pub(crate) fn run_delta_while(
     name: Symbol,
     body: &[Statement],
     db: &mut Database,
-    limits: &EvalLimits,
+    cx: Exec<'_>,
     metrics: &mut Metrics,
     pool: &mut LazyPool,
 ) -> Result<()> {
@@ -150,16 +150,24 @@ pub(crate) fn run_delta_while(
     while db.tables_named_iter(name).any(|t| t.height() > 0) {
         iters += 1;
         metrics.stats.while_iterations += 1;
-        if iters > limits.max_while_iters {
+        if iters > cx.limits.max_while_iters {
             return Err(AlgebraError::LimitExceeded {
                 what: "while iterations",
-                limit: limits.max_while_iters,
+                limit: cx.limits.max_while_iters,
                 attempted: iters,
             });
         }
         metrics.begin(SpanKind::WhileIter, "while", Some(iters));
+        // Poll with the iteration span open, so a trip here is drained
+        // as an aborted `while #N` span.
+        cx.gov.poll()?;
         let iter_start = metrics.timer();
-        let outcome = run_delta_iteration(&mut st, body, db, limits, metrics, pool);
+        let outcome = run_delta_iteration(&mut st, body, db, cx, metrics, pool);
+        if matches!(outcome, Err(AlgebraError::BudgetExceeded { .. })) {
+            // Leave the iteration span open for the abort drain, exactly
+            // like the naive loop in `eval::run_statements`.
+            return outcome;
+        }
         metrics.end(
             Metrics::elapsed(iter_start).unwrap_or(0),
             DeltaDecision::Executed,
@@ -174,12 +182,15 @@ fn run_delta_iteration(
     st: &mut DeltaState,
     body: &[Statement],
     db: &mut Database,
-    limits: &EvalLimits,
+    cx: Exec<'_>,
     metrics: &mut Metrics,
     pool: &mut LazyPool,
 ) -> Result<()> {
     let mut dirty: HashSet<Symbol> = HashSet::new();
     for (idx, stmt) in body.iter().enumerate() {
+        // Poll before the skip check so even all-skip iterations stop at
+        // statement granularity.
+        cx.gov.poll()?;
         let Statement::Assign(a) = stmt else {
             unreachable!("delta-safe bodies contain only assignments");
         };
@@ -197,11 +208,14 @@ fn run_delta_iteration(
             {
                 // Skipped, but the statement's logical production still
                 // counts: naive re-execution would have reproduced the
-                // memoized results and counted them again.
+                // memoized results and counted them again. The same goes
+                // for the run cell budget — charging the memoized size
+                // keeps the trip point identical to naive evaluation.
                 metrics.stats.while_delta_skipped += 1;
                 metrics.stats.tables_produced += memo.produced_tables;
                 metrics.stats.max_table_cells =
                     metrics.stats.max_table_cells.max(memo.produced_max_cells);
+                cx.gov.charge_cells(memo.produced_cells)?;
                 metrics.skip_span(kw, memo.produced_tables, memo.produced_cells);
                 continue;
             }
@@ -216,14 +230,37 @@ fn run_delta_iteration(
             reads,
             read_versions,
             db,
-            limits,
+            cx,
             metrics,
             pool,
         );
-        let micros = Metrics::elapsed(start);
-        metrics.record_op(kw, micros);
-        metrics.end(micros.unwrap_or(0), DeltaDecision::Executed);
-        if outcome? {
+        let changed = match outcome {
+            Err(e) => {
+                // A failed statement must leave no bookkeeping claiming
+                // its output is current: a retry with larger limits
+                // would otherwise delta-skip against a stale memo (or
+                // extend stale append lineage) and disagree with naive
+                // re-evaluation.
+                st.memos[idx] = None;
+                st.appends.remove(&target);
+                if matches!(e, AlgebraError::BudgetExceeded { .. }) {
+                    // Leave the span open for the abort drain; an
+                    // interrupted statement is not an execution.
+                    return Err(e);
+                }
+                let micros = Metrics::elapsed(start);
+                metrics.record_op(kw, micros);
+                metrics.end(micros.unwrap_or(0), DeltaDecision::Executed);
+                return Err(e);
+            }
+            Ok(changed) => {
+                let micros = Metrics::elapsed(start);
+                metrics.record_op(kw, micros);
+                metrics.end(micros.unwrap_or(0), DeltaDecision::Executed);
+                changed
+            }
+        };
+        if changed {
             dirty.insert(target);
         }
     }
@@ -244,7 +281,7 @@ fn run_body_statement(
     reads: Vec<Symbol>,
     read_versions: Vec<u64>,
     db: &mut Database,
-    limits: &EvalLimits,
+    cx: Exec<'_>,
     metrics: &mut Metrics,
     pool: &mut LazyPool,
 ) -> Result<bool> {
@@ -256,7 +293,7 @@ fn run_body_statement(
     // buffer copies; when a later statement double-buffered over it, the
     // cached handle (sole owner by then) is extended and swapped back in.
     if let Some(inc) = plan_incremental(st, idx, a, &reads, &read_versions, db) {
-        check_virtual_result(inc.out_cells_after, limits, metrics)?;
+        check_virtual_result(inc.out_cells_after, cx, metrics)?;
         let memo = st.memos[idx].as_mut().expect("plan requires a memo");
         let from_version = memo.target_version;
         let cached = memo
@@ -319,8 +356,8 @@ fn run_body_statement(
         return Ok(changed);
     }
 
-    let results = compute_results(a, db, limits, metrics, pool)?;
-    check_results(&results, limits, metrics)?;
+    let results = compute_results(a, db, cx, metrics, pool)?;
+    check_results(&results, cx, metrics)?;
     let produced_tables = results.len();
     let produced_cells = results.iter().map(table_cells).sum();
     let produced_max_cells = results.iter().map(table_cells).max().unwrap_or(0);
@@ -339,7 +376,7 @@ fn run_body_statement(
     let changed = !matches!(change, Change::Unchanged);
     if changed {
         replace_results(results, db);
-        check_table_count(db, limits)?;
+        check_table_count(db, cx.limits)?;
         let new_version = group_version(db, target);
         match change {
             Change::Append { base_height } => {

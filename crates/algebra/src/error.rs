@@ -1,5 +1,6 @@
 //! Errors raised by tabular algebra evaluation and parsing.
 
+use crate::governor::PartialRun;
 use tabular_core::Symbol;
 
 /// Errors from evaluating tabular algebra programs.
@@ -31,6 +32,26 @@ pub enum AlgebraError {
         limit: usize,
         /// The attempted size.
         attempted: usize,
+    },
+    /// A [`crate::governor::Budget`] resource ran out — the run was
+    /// cancelled, its wall-clock deadline passed, or its cumulative cell
+    /// budget was exhausted. Unlike [`AlgebraError::LimitExceeded`], the
+    /// error carries the partial [`crate::EvalStats`] and partial
+    /// [`crate::Trace`] collected up to the trip (the `partial` payload
+    /// is diagnostic only and does not affect error equality).
+    BudgetExceeded {
+        /// Which resource tripped: one of
+        /// [`crate::governor::RESOURCE_CANCELLED`],
+        /// [`crate::governor::RESOURCE_DEADLINE`] (values in ms), or
+        /// [`crate::governor::RESOURCE_RUN_CELLS`] (values in cells).
+        resource: &'static str,
+        /// How much was spent when the trip was detected (0 for
+        /// cancellation).
+        spent: usize,
+        /// The configured allowance (0 for cancellation).
+        limit: usize,
+        /// The stats and trace accumulated up to the trip.
+        partial: Box<PartialRun>,
     },
     /// An operation received the wrong number of arguments.
     Arity {
@@ -71,6 +92,18 @@ impl std::fmt::Display for AlgebraError {
                 limit,
                 attempted,
             } => write!(f, "{what} limit exceeded: {attempted} > {limit}"),
+            AlgebraError::BudgetExceeded {
+                resource,
+                spent,
+                limit,
+                ..
+            } => {
+                if *resource == crate::governor::RESOURCE_CANCELLED {
+                    write!(f, "evaluation cancelled cooperatively")
+                } else {
+                    write!(f, "{resource} budget exceeded: spent {spent} of {limit}")
+                }
+            }
             AlgebraError::Arity { op, expected, got } => {
                 write!(f, "{op} expects {expected} argument(s), got {got}")
             }
@@ -78,6 +111,20 @@ impl std::fmt::Display for AlgebraError {
                 write!(f, "entry parameter denotes {} symbols", syms.len())
             }
             AlgebraError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+        }
+    }
+}
+
+impl AlgebraError {
+    /// A budget trip with an (as yet) empty partial payload; the run
+    /// entry point attaches the real stats and trace as the error
+    /// propagates out (`eval::run_governed_traced`).
+    pub(crate) fn budget_trip(resource: &'static str, spent: usize, limit: usize) -> AlgebraError {
+        AlgebraError::BudgetExceeded {
+            resource,
+            spent,
+            limit,
+            partial: Box::new(PartialRun::default()),
         }
     }
 }

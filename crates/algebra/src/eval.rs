@@ -16,6 +16,7 @@
 //! engineering guards, not semantics (DESIGN.md §4).
 
 use crate::error::{AlgebraError, Result};
+use crate::governor::{Budget, Governor, PartialRun};
 use crate::obs::metrics::Metrics;
 use crate::obs::trace::{DeltaDecision, SpanKind, Trace, TraceLevel};
 use crate::ops;
@@ -179,25 +180,66 @@ pub fn run_traced(
     db: &Database,
     limits: &EvalLimits,
 ) -> Result<(Database, EvalStats, Trace)> {
+    run_governed_traced(program, db, &Budget::from_limits(limits))
+}
+
+/// Evaluate a program under a [`Budget`]: the static limits plus a
+/// wall-clock deadline, a cumulative cell budget, and cooperative
+/// cancellation. On a budget trip the returned
+/// [`AlgebraError::BudgetExceeded`] carries the partial stats and trace
+/// (see [`crate::governor`]).
+pub fn run_governed(program: &Program, db: &Database, budget: &Budget) -> Result<Database> {
+    Ok(run_governed_traced(program, db, budget)?.0)
+}
+
+/// Like [`run_governed`], additionally returning the statistics and the
+/// structured trace of the successful run. This is the single underlying
+/// entry point: the plain `run*` functions delegate here with
+/// [`Budget::from_limits`], so governed and ungoverned evaluation share
+/// one code path.
+pub fn run_governed_traced(
+    program: &Program,
+    db: &Database,
+    budget: &Budget,
+) -> Result<(Database, EvalStats, Trace)> {
+    let limits = &budget.limits;
+    let gov = Governor::new(budget);
     let snapshots_base = tabular_core::stats::snapshots();
     let cow_base = tabular_core::stats::cow_copies();
     let mut state = db.snapshot();
     let mut metrics = Metrics::new(limits.trace);
     let mut pool = LazyPool::new();
     let start = Instant::now();
-    let outcome = run_statements(
-        &program.statements,
-        &mut state,
-        limits,
-        &mut metrics,
-        &mut pool,
-    );
+    let cx = Exec { limits, gov: &gov };
+    let outcome = run_statements(&program.statements, &mut state, cx, &mut metrics, &mut pool);
     metrics.stats.total_micros = start.elapsed().as_micros();
     metrics.stats.snapshots = tabular_core::stats::snapshots().saturating_sub(snapshots_base);
     metrics.stats.cow_copies = tabular_core::stats::cow_copies().saturating_sub(cow_base);
-    outcome?;
-    let (stats, trace) = metrics.into_parts();
-    Ok((state, stats, trace))
+    match outcome {
+        Ok(()) => {
+            let (stats, trace) = metrics.into_parts();
+            Ok((state, stats, trace))
+        }
+        Err(AlgebraError::BudgetExceeded {
+            resource,
+            spent,
+            limit,
+            ..
+        }) => {
+            // Degrade gracefully: drain the spans the trip left open as
+            // `aborted` (innermost first — the tripped span leads) and
+            // hand the partial stats and trace back on the error.
+            metrics.abort_open();
+            let (stats, trace) = metrics.into_parts();
+            Err(AlgebraError::BudgetExceeded {
+                resource,
+                spent,
+                limit,
+                partial: Box::new(PartialRun { stats, trace }),
+            })
+        }
+        Err(err) => Err(err),
+    }
 }
 
 /// Evaluate a program and project the result onto the given output names
@@ -216,22 +258,35 @@ pub fn run_outputs(
     Ok(out)
 }
 
+/// The evaluation context threaded through the interpreter: the static
+/// limits plus the run's governor. `Copy` so it passes by value through
+/// the recursion, and `Send + Sync` (shared references to `Sync` state)
+/// so shard-pool jobs can poll the governor mid-fan-out.
+#[derive(Clone, Copy)]
+pub(crate) struct Exec<'a> {
+    pub(crate) limits: &'a EvalLimits,
+    pub(crate) gov: &'a Governor,
+}
+
 pub(crate) fn run_statements(
     stmts: &[Statement],
     db: &mut Database,
-    limits: &EvalLimits,
+    cx: Exec<'_>,
     metrics: &mut Metrics,
     pool: &mut LazyPool,
 ) -> Result<()> {
     for stmt in stmts {
+        // Statement boundaries are the governor's polling granularity:
+        // aborting here leaves a state a statement prefix explains.
+        cx.gov.poll()?;
         match stmt {
-            Statement::Assign(a) => run_timed_assignment(a, db, limits, metrics, pool)?,
+            Statement::Assign(a) => run_timed_assignment(a, db, cx, metrics, pool)?,
             Statement::While { cond, body } => {
                 let name = denote_target(cond, &Bindings::new())
                     .map_err(|_| AlgebraError::BadWhileCondition)?;
-                let delta = limits.while_strategy == WhileStrategy::Delta;
+                let delta = cx.limits.while_strategy == WhileStrategy::Delta;
                 if delta && crate::optimize::body_is_delta_safe(body) {
-                    crate::delta::run_delta_while(name, body, db, limits, metrics, pool)?;
+                    crate::delta::run_delta_while(name, body, db, cx, metrics, pool)?;
                     continue;
                 }
                 let decision = if delta {
@@ -244,16 +299,24 @@ pub(crate) fn run_statements(
                 while db.tables_named_iter(name).any(|t| t.height() > 0) {
                     iters += 1;
                     metrics.stats.while_iterations += 1;
-                    if iters > limits.max_while_iters {
+                    if iters > cx.limits.max_while_iters {
                         return Err(AlgebraError::LimitExceeded {
                             what: "while iterations",
-                            limit: limits.max_while_iters,
+                            limit: cx.limits.max_while_iters,
                             attempted: iters,
                         });
                     }
                     metrics.begin(SpanKind::WhileIter, "while", Some(iters));
+                    // Poll with the iteration span open, so a trip here
+                    // is drained as an aborted `while #N` span.
+                    cx.gov.poll()?;
                     let start = metrics.timer();
-                    let outcome = run_statements(body, db, limits, metrics, pool);
+                    let outcome = run_statements(body, db, cx, metrics, pool);
+                    if matches!(outcome, Err(AlgebraError::BudgetExceeded { .. })) {
+                        // Leave the iteration span open: the abort drain
+                        // (`Metrics::abort_open`) marks it `aborted`.
+                        return outcome;
+                    }
                     metrics.end(Metrics::elapsed(start).unwrap_or(0), decision);
                     outcome?;
                 }
@@ -271,13 +334,19 @@ pub(crate) fn run_statements(
 pub(crate) fn run_timed_assignment(
     a: &Assignment,
     db: &mut Database,
-    limits: &EvalLimits,
+    cx: Exec<'_>,
     metrics: &mut Metrics,
     pool: &mut LazyPool,
 ) -> Result<()> {
     metrics.begin(SpanKind::Assign, a.op.keyword(), None);
     let start = metrics.timer();
-    let outcome = run_assignment(a, db, limits, metrics, pool);
+    let outcome = run_assignment(a, db, cx, metrics, pool);
+    if matches!(outcome, Err(AlgebraError::BudgetExceeded { .. })) {
+        // An interrupted statement is not an execution: leave its span
+        // open for the abort drain and record no op count or timing, so
+        // partial stats agree across strategies at the trip point.
+        return outcome;
+    }
     let micros = Metrics::elapsed(start);
     metrics.record_op(a.op.keyword(), micros);
     metrics.end(micros.unwrap_or(0), DeltaDecision::Executed);
@@ -287,14 +356,14 @@ pub(crate) fn run_timed_assignment(
 fn run_assignment(
     a: &Assignment,
     db: &mut Database,
-    limits: &EvalLimits,
+    cx: Exec<'_>,
     metrics: &mut Metrics,
     pool: &mut LazyPool,
 ) -> Result<()> {
-    let results = compute_results(a, db, limits, metrics, pool)?;
-    check_results(&results, limits, metrics)?;
+    let results = compute_results(a, db, cx, metrics, pool)?;
+    check_results(&results, cx, metrics)?;
     replace_results(results, db);
-    check_table_count(db, limits)
+    check_table_count(db, cx.limits)
 }
 
 /// Cells of a table under the limit convention of `max_cells`: the data
@@ -310,10 +379,11 @@ pub(crate) fn table_cells(t: &Table) -> usize {
 pub(crate) fn compute_results(
     a: &Assignment,
     db: &Database,
-    limits: &EvalLimits,
+    cx: Exec<'_>,
     metrics: &mut Metrics,
     pool: &mut LazyPool,
 ) -> Result<Vec<Table>> {
+    let limits = cx.limits;
     let arity = a.op.arity();
     if a.args.len() != arity {
         return Err(AlgebraError::Arity {
@@ -383,6 +453,9 @@ pub(crate) fn compute_results(
                             let out = slice
                                 .iter()
                                 .try_for_each(|(t, bindings, target)| {
+                                    // Poll between tables so a sharded
+                                    // statement stops mid-fan-out.
+                                    cx.gov.poll()?;
                                     apply_unary(op, t, *target, bindings, limits, &mut local)
                                 })
                                 .map(|()| local);
@@ -399,6 +472,7 @@ pub(crate) fn compute_results(
                 }
             } else {
                 for (t, bindings, target) in &work {
+                    cx.gov.poll()?;
                     apply_unary(&a.op, t, *target, bindings, limits, &mut results)?;
                 }
             }
@@ -415,6 +489,27 @@ pub(crate) fn compute_results(
                     combos += 1;
                     input_cells += table_cells(t1) + table_cells(t2);
                     let target = denote_target(&a.target, &b2)?;
+                    if matches!(a.op, OpKind::Product) {
+                        // Pre-size the only super-linear materialization:
+                        // a product is exactly one output row per row
+                        // pair, so its cell count is known before any
+                        // allocation. Failing here (with the same values
+                        // the post-materialization check in
+                        // `check_results` would report) keeps a blown
+                        // `max_cells` from ever reaching the allocator.
+                        let cells = t1
+                            .height()
+                            .saturating_mul(t2.height())
+                            .saturating_add(1)
+                            .saturating_mul(t1.width() + t2.width() + 1);
+                        if cells > limits.max_cells {
+                            return Err(AlgebraError::LimitExceeded {
+                                what: "cells per table",
+                                limit: limits.max_cells,
+                                attempted: cells,
+                            });
+                        }
+                    }
                     let out = match &a.op {
                         OpKind::Union => ops::union(t1, t2, target),
                         OpKind::Difference => ops::difference(t1, t2, target),
@@ -433,49 +528,52 @@ pub(crate) fn compute_results(
     Ok(results)
 }
 
-/// Record shape statistics for produced tables and enforce the per-table
-/// cell limit.
-pub(crate) fn check_results(
-    results: &[Table],
-    limits: &EvalLimits,
-    metrics: &mut Metrics,
-) -> Result<()> {
+/// Record shape statistics for produced tables, enforce the per-table
+/// cell limit, and charge the statement's total production against the
+/// run cell budget. Charging happens once per statement on the
+/// evaluating thread, after the per-table checks, so the cumulative
+/// total — and therefore the budget trip point — is deterministic
+/// across strategies and shard configurations.
+pub(crate) fn check_results(results: &[Table], cx: Exec<'_>, metrics: &mut Metrics) -> Result<()> {
     metrics.stats.tables_produced += results.len();
     let mut total = 0usize;
     for t in results {
         let cells = table_cells(t);
         total += cells;
         metrics.stats.max_table_cells = metrics.stats.max_table_cells.max(cells);
-        if cells > limits.max_cells {
+        if cells > cx.limits.max_cells {
             return Err(AlgebraError::LimitExceeded {
                 what: "cells per table",
-                limit: limits.max_cells,
+                limit: cx.limits.max_cells,
                 attempted: cells,
             });
         }
     }
+    cx.gov.charge_cells(total)?;
     metrics.note_output(total);
     Ok(())
 }
 
 /// The [`check_results`] accounting for a result the delta strategy
 /// commits in place instead of materializing: one table of `cells` total
-/// cells. Charging the full (not delta) size keeps `tables_produced` and
-/// `max_table_cells` in agreement with naive re-execution.
+/// cells. Charging the full (not delta) size keeps `tables_produced`,
+/// `max_table_cells`, and the run cell budget in agreement with naive
+/// re-execution.
 pub(crate) fn check_virtual_result(
     cells: usize,
-    limits: &EvalLimits,
+    cx: Exec<'_>,
     metrics: &mut Metrics,
 ) -> Result<()> {
     metrics.stats.tables_produced += 1;
     metrics.stats.max_table_cells = metrics.stats.max_table_cells.max(cells);
-    if cells > limits.max_cells {
+    if cells > cx.limits.max_cells {
         return Err(AlgebraError::LimitExceeded {
             what: "cells per table",
-            limit: limits.max_cells,
+            limit: cx.limits.max_cells,
             attempted: cells,
         });
     }
+    cx.gov.charge_cells(cells)?;
     metrics.note_output(cells);
     Ok(())
 }

@@ -11,8 +11,9 @@
 //! Results written under a member prefix route back to that member;
 //! unqualified results land in the designated local member.
 
-use crate::error::Result;
-use crate::eval::{run, run_traced, EvalLimits, EvalStats};
+use crate::error::{AlgebraError, Result};
+use crate::eval::{run, run_governed_traced, run_traced, EvalLimits, EvalStats};
+use crate::governor::Budget;
 use crate::obs::trace::Trace;
 use crate::program::Program;
 use tabular_core::{Database, Symbol, Table};
@@ -128,6 +129,47 @@ impl Federation {
         let flat = self.flatten();
         let (out, stats, trace) = run_traced(program, &flat, limits)?;
         Ok((Federation::unflatten(&out, local), stats, trace))
+    }
+
+    /// Like [`Federation::run_program_traced`], but governed by a
+    /// [`Budget`]: the run over the flattened database honors the
+    /// budget's deadline, run-cell allowance, and cancellation token.
+    /// On a trip the returned [`AlgebraError::BudgetExceeded`] carries
+    /// the partial stats and trace of the flattened run.
+    pub fn run_program_governed(
+        &self,
+        program: &Program,
+        local: &str,
+        budget: &Budget,
+    ) -> Result<(Federation, EvalStats, Trace)> {
+        let flat = self.flatten();
+        let (out, stats, trace) = run_governed_traced(program, &flat, budget)?;
+        Ok((Federation::unflatten(&out, local), stats, trace))
+    }
+
+    /// Run `program` against every member *independently* (each member
+    /// sees only its own unqualified tables), splitting `budget` evenly
+    /// across members with [`Budget::split`]: each member's run gets
+    /// `1/n` of the deadline and cell allowance, and all runs share the
+    /// budget's cancellation token. On the first trip the shared token
+    /// is cancelled — so if a caller runs members concurrently against
+    /// clones of the split budget, sibling runs stop cooperatively —
+    /// and the tripping member's error is returned.
+    pub fn run_each_governed(&self, program: &Program, budget: &Budget) -> Result<Federation> {
+        let n = self.members.len().max(1);
+        let per_site = budget.split(n);
+        let mut out = Federation::new();
+        for (name, db) in &self.members {
+            match run_governed_traced(program, db, &per_site) {
+                Ok((res, _, _)) => out.insert(name, res),
+                Err(err @ AlgebraError::BudgetExceeded { .. }) => {
+                    per_site.cancel.cancel();
+                    return Err(err);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        Ok(out)
     }
 
     /// Total table count across members.

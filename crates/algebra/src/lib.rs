@@ -42,6 +42,7 @@ pub mod derived;
 pub mod error;
 pub mod eval;
 pub mod federation;
+pub mod governor;
 pub mod obs;
 pub mod ops;
 pub mod optimize;
@@ -53,9 +54,11 @@ pub mod program;
 
 pub use error::AlgebraError;
 pub use eval::{
-    run, run_outputs, run_traced, run_with_stats, EvalLimits, EvalStats, WhileStrategy,
+    run, run_governed, run_governed_traced, run_outputs, run_traced, run_with_stats, EvalLimits,
+    EvalStats, WhileStrategy,
 };
 pub use federation::Federation;
+pub use governor::{Budget, CancelToken, PartialRun};
 pub use obs::{DeltaDecision, Span, SpanKind, Trace, TraceLevel};
 pub use optimize::optimize;
 pub use param::Param;

@@ -90,7 +90,9 @@ impl Metrics {
 
     /// Open a span (no-op below [`TraceLevel::Spans`]). Every `begin`
     /// must be paired with an [`Metrics::end`] on the success path;
-    /// spans left open by error propagation are simply not recorded.
+    /// spans left open by error propagation are simply not recorded —
+    /// except on a budget trip, where [`Metrics::abort_open`] drains
+    /// them into the partial trace as `aborted` spans.
     pub(crate) fn begin(&mut self, kind: SpanKind, op: &'static str, iteration: Option<usize>) {
         if !self.spans_enabled() {
             return;
@@ -198,6 +200,35 @@ impl Metrics {
         });
     }
 
+    /// Drain every still-open span into the trace as `aborted`,
+    /// innermost first — so the first aborted span in the trace is the
+    /// exact unit of work a budget trip interrupted, with its enclosing
+    /// statement and iteration spans following. Aborted spans carry the
+    /// annotations noted before the trip and no wall time (their timing
+    /// never completed; recording a partial reading would break the
+    /// span/stats reconciliation invariant).
+    pub(crate) fn abort_open(&mut self) {
+        if !self.spans_enabled() {
+            return;
+        }
+        while let Some(p) = self.stack.pop() {
+            self.trace.push(Span {
+                id: p.id,
+                parent: p.parent,
+                kind: p.kind,
+                op: p.op,
+                matched: p.matched,
+                input_cells: p.input_cells,
+                output_cells: p.output_cells,
+                micros: 0,
+                cow_copies: tabular_core::stats::cow_copies().saturating_sub(p.cow_base),
+                decision: DeltaDecision::Aborted,
+                shard: None,
+                iteration: p.iteration,
+            });
+        }
+    }
+
     /// Decompose into the public stats and the collected trace.
     pub(crate) fn into_parts(self) -> (EvalStats, Trace) {
         (self.stats, self.trace)
@@ -230,6 +261,22 @@ mod tests {
         let (stats, trace) = m.into_parts();
         assert!(trace.is_empty());
         assert_eq!(stats.op_micros.get("COPY"), Some(&3));
+    }
+
+    #[test]
+    fn abort_open_drains_innermost_first() {
+        let mut m = Metrics::new(TraceLevel::Spans);
+        m.begin(SpanKind::WhileIter, "while", Some(3));
+        m.begin(SpanKind::Assign, "PRODUCT", None);
+        m.note_matched(1, 10);
+        m.abort_open();
+        let (_, trace) = m.into_parts();
+        let spans: Vec<_> = trace.spans().collect();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.decision == DeltaDecision::Aborted));
+        assert_eq!(spans[0].op, "PRODUCT", "innermost drained first");
+        assert_eq!(spans[0].matched, 1);
+        assert_eq!(spans[1].iteration, Some(3));
     }
 
     #[test]

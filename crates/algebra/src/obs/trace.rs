@@ -5,7 +5,7 @@
 //! structure to answer "where did the time go and why": the operation
 //! keyword, how many argument combinations matched, the cells read and
 //! produced, the wall time, and the delta-strategy decision
-//! (`executed | delta-skipped | fallback-naive`). Spans form a tree via
+//! (`executed | delta-skipped | fallback-naive | aborted`). Spans form a tree via
 //! parent ids (iterations parent the statements of their body pass,
 //! statements parent their shard jobs) and collect into a [`Trace`] — a
 //! bounded ring buffer, so tracing a diverging loop cannot exhaust
@@ -76,14 +76,20 @@ pub enum DeltaDecision {
     /// A `while` loop that requested the delta strategy but fell back to
     /// naive re-evaluation (body not provably delta-safe).
     FallbackNaive,
+    /// The span was still open when a budget trip aborted the run: this
+    /// is the work the governor interrupted (see `crate::governor`).
+    /// Aborted spans record no wall time; their annotations are whatever
+    /// the work had noted before the trip.
+    Aborted,
 }
 
 impl DeltaDecision {
-    fn as_str(self) -> &'static str {
+    pub(crate) fn as_str(self) -> &'static str {
         match self {
             DeltaDecision::Executed => "executed",
             DeltaDecision::DeltaSkipped => "delta-skipped",
             DeltaDecision::FallbackNaive => "fallback-naive",
+            DeltaDecision::Aborted => "aborted",
         }
     }
 }

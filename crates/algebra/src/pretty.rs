@@ -283,7 +283,11 @@ fn render_trace_line(s: &Span, depth: usize, out: &mut String) {
     }
     match s.kind {
         SpanKind::WhileIter => {
-            writeln!(out, "while #{} [{} µs]", s.iteration.unwrap_or(0), s.micros).unwrap();
+            if s.decision == DeltaDecision::Aborted {
+                writeln!(out, "while #{} ← budget tripped", s.iteration.unwrap_or(0)).unwrap();
+            } else {
+                writeln!(out, "while #{} [{} µs]", s.iteration.unwrap_or(0), s.micros).unwrap();
+            }
         }
         SpanKind::Shard => {
             writeln!(
@@ -298,6 +302,14 @@ fn render_trace_line(s: &Span, depth: usize, out: &mut String) {
         SpanKind::Assign => match s.decision {
             DeltaDecision::DeltaSkipped => {
                 writeln!(out, "{} (delta-skipped, {} tables cached)", s.op, s.matched).unwrap();
+            }
+            DeltaDecision::Aborted => {
+                writeln!(
+                    out,
+                    "{} matched={} in={} out={} ← budget tripped",
+                    s.op, s.matched, s.input_cells, s.output_cells
+                )
+                .unwrap();
             }
             _ => {
                 let cow = if s.cow_copies > 0 {

@@ -8,8 +8,8 @@
 
 use std::time::Instant;
 use tabular_algebra::{
-    parser::parse, run, run_outputs, run_traced, run_with_stats, EvalLimits, TraceLevel,
-    WhileStrategy,
+    parser::parse, run, run_governed, run_outputs, run_traced, run_with_stats, Budget, EvalLimits,
+    TraceLevel, WhileStrategy,
 };
 use tabular_canonical::{check_fds, decode, encode, encode_program, EncodeScheme};
 use tabular_core::{fixtures, Symbol, SymbolSet};
@@ -235,6 +235,57 @@ fn main() {
             ),
             outcome: verdict(us_off > 0),
             micros: us_off,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Resource governor (DESIGN.md "Resource governance"): an armed but
+    // never-tripping budget must cost noise next to the ungoverned run —
+    // polling is two atomic/branch reads per statement boundary — and a
+    // tight cell budget must trip with the partial stats attached.
+    // ------------------------------------------------------------------
+    {
+        let p = tabular_bench::ta_tc_program();
+        let db = tabular_bench::ta_chain_db(24);
+        let median_of = |f: &dyn Fn() -> u128| {
+            let mut samples: Vec<u128> = (0..9).map(|_| f()).collect();
+            samples.sort_unstable();
+            samples[samples.len() / 2]
+        };
+        let base = EvalLimits::default();
+        let us_plain = median_of(&|| timed(|| run(&p, &db, &base).unwrap()).1);
+        let armed = Budget::from_limits(&base)
+            .with_deadline(std::time::Duration::from_secs(3600))
+            .with_cell_budget(usize::MAX);
+        let us_governed = median_of(&|| timed(|| run_governed(&p, &db, &armed).unwrap()).1);
+        let same = run(&p, &db, &base).unwrap().table_str("TC").unwrap()
+            == run_governed(&p, &db, &armed)
+                .unwrap()
+                .table_str("TC")
+                .unwrap();
+        rows.push(Row {
+            id: "Governor",
+            what: format!(
+                "TC 24-chain governor overhead: ungoverned {us_plain}µs, \
+                 deadline+cells armed {us_governed}µs"
+            ),
+            outcome: verdict(same),
+            micros: us_governed,
+        });
+
+        let tight = Budget::from_limits(&base).with_cell_budget(500);
+        let (trip, us_trip) = timed(|| run_governed(&p, &db, &tight).unwrap_err());
+        let tripped = match &trip {
+            tabular_algebra::AlgebraError::BudgetExceeded { partial, .. } => {
+                partial.stats.tables_produced > 0
+            }
+            _ => false,
+        };
+        rows.push(Row {
+            id: "Governor",
+            what: format!("TC 24-chain, 500-cell budget: {trip}"),
+            outcome: verdict(tripped),
+            micros: us_trip,
         });
     }
 

@@ -308,13 +308,29 @@ pub fn compile_good(p: &GoodProgram) -> Result<FoProgram> {
 /// compile to FO (this module) and then to TA (Theorem 4.1), run the TA
 /// interpreter, and decode the resulting object base.
 pub fn run_via_ta(p: &GoodProgram, g: &Graph, limits: &EvalLimits) -> Result<Graph> {
+    run_via_ta_governed(p, g, &tabular_algebra::Budget::from_limits(limits))
+}
+
+/// Like [`run_via_ta`], but governed by a [`tabular_algebra::Budget`]:
+/// the compiled TA run honors the budget's deadline, run-cell allowance,
+/// and cancellation token.
+pub fn run_via_ta_governed(
+    p: &GoodProgram,
+    g: &Graph,
+    budget: &tabular_algebra::Budget,
+) -> Result<Graph> {
     let fo = compile_good(p)?;
     let db = to_tabular(g);
     let rel_db = tabular_relational::relation::RelDatabase::from_tabular(
         &db,
         &[Symbol::name("Node"), Symbol::name("Edge")],
     )?;
-    let out = tabular_relational::compile::run_compiled(&fo, &rel_db, &["Node", "Edge"], limits)?;
+    let (out, _, _) = tabular_relational::compile::run_compiled_governed(
+        &fo,
+        &rel_db,
+        &["Node", "Edge"],
+        budget,
+    )?;
     let out_db = out.to_tabular();
     from_tabular(&out_db)
 }

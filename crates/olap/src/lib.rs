@@ -48,5 +48,5 @@ pub use classify::Classifier;
 pub use cube::{Cube, Dimension};
 pub use error::OlapError;
 pub use lattice::{cube_table, rollup_table};
-pub use pivot::{pivot, pivot_program, unpivot, unpivot_program};
+pub use pivot::{pivot, pivot_governed, pivot_program, unpivot, unpivot_governed, unpivot_program};
 pub use summarize::{add_totals, grand_total, summarize};

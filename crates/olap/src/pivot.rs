@@ -17,7 +17,7 @@
 
 use crate::error::Result;
 use tabular_algebra::param::Item;
-use tabular_algebra::{derived::Emitter, EvalLimits, OpKind, Param, Program};
+use tabular_algebra::{derived::Emitter, Budget, EvalLimits, OpKind, Param, Program};
 use tabular_core::{Database, Symbol, SymbolSet, Table};
 
 fn param_of(syms: &[Symbol]) -> Param {
@@ -126,6 +126,18 @@ pub fn unpivot_program(src: Symbol, val_attr: Symbol, col_attr: Symbol, target: 
 
 /// Run [`pivot_program`] on a single table, returning the cross-tab.
 pub fn pivot(t: &Table, col_attr: Symbol, val_attr: Symbol, limits: &EvalLimits) -> Result<Table> {
+    pivot_governed(t, col_attr, val_attr, &Budget::from_limits(limits))
+}
+
+/// Like [`pivot`], but governed by a [`Budget`]: the underlying TA run
+/// honors the budget's deadline, run-cell allowance, and cancellation
+/// token (a trip surfaces as the algebra's `BudgetExceeded` error).
+pub fn pivot_governed(
+    t: &Table,
+    col_attr: Symbol,
+    val_attr: Symbol,
+    budget: &Budget,
+) -> Result<Table> {
     let keys: Vec<Symbol> = {
         let drop: SymbolSet = [col_attr, val_attr].into_iter().collect();
         t.scheme().minus(&drop).iter().collect()
@@ -133,7 +145,7 @@ pub fn pivot(t: &Table, col_attr: Symbol, val_attr: Symbol, limits: &EvalLimits)
     let target = Symbol::fresh_name();
     let p = pivot_program(t.name(), col_attr, val_attr, &keys, target);
     let db = Database::from_tables([t.clone()]);
-    let out = tabular_algebra::run(&p, &db, limits)?;
+    let out = tabular_algebra::run_governed(&p, &db, budget)?;
     let mut result = out
         .table(target)
         .expect("pivot program produces its target")
@@ -150,10 +162,21 @@ pub fn unpivot(
     col_attr: Symbol,
     limits: &EvalLimits,
 ) -> Result<Table> {
+    unpivot_governed(t, val_attr, col_attr, &Budget::from_limits(limits))
+}
+
+/// Like [`unpivot`], but governed by a [`Budget`] (see
+/// [`pivot_governed`]).
+pub fn unpivot_governed(
+    t: &Table,
+    val_attr: Symbol,
+    col_attr: Symbol,
+    budget: &Budget,
+) -> Result<Table> {
     let target = Symbol::fresh_name();
     let p = unpivot_program(t.name(), val_attr, col_attr, target);
     let db = Database::from_tables([t.clone()]);
-    let out = tabular_algebra::run(&p, &db, limits)?;
+    let out = tabular_algebra::run_governed(&p, &db, budget)?;
     let mut result = out
         .table(target)
         .expect("unpivot program produces its target")

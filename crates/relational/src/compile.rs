@@ -284,6 +284,28 @@ pub fn run_compiled_traced(
     Ok((RelDatabase::from_tabular(&result, &names)?, stats, trace))
 }
 
+/// Like [`run_compiled_traced`], but governed by a
+/// [`tabular_algebra::Budget`]: the compiled TA run honors the budget's
+/// deadline, run-cell allowance, and cancellation token, and a trip
+/// surfaces as [`tabular_algebra::AlgebraError::BudgetExceeded`]
+/// carrying the partial stats and trace of the compiled run.
+pub fn run_compiled_governed(
+    p: &FoProgram,
+    db: &RelDatabase,
+    outputs: &[&str],
+    budget: &tabular_algebra::Budget,
+) -> Result<(
+    RelDatabase,
+    tabular_algebra::EvalStats,
+    tabular_algebra::Trace,
+)> {
+    let compiled = compile(p);
+    let tabular = db.to_tabular();
+    let (result, stats, trace) = tabular_algebra::run_governed_traced(&compiled, &tabular, budget)?;
+    let names: Vec<Symbol> = outputs.iter().map(|n| Symbol::name(n)).collect();
+    Ok((RelDatabase::from_tabular(&result, &names)?, stats, trace))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,7 +32,7 @@ pub mod expr;
 pub mod program;
 pub mod relation;
 
-pub use compile::{compile, run_compiled, run_compiled_traced};
+pub use compile::{compile, run_compiled, run_compiled_governed, run_compiled_traced};
 pub use error::RelError;
 pub use expr::RelExpr;
 pub use program::{canonicalize_fresh, FoProgram, FoStatement};

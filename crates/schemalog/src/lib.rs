@@ -46,5 +46,6 @@ pub use eval::{eval, SlLimits, Strategy};
 pub use parser::parse;
 pub use quads::{Quad, QuadDb};
 pub use translate::{
-    order_relation, run_translated, run_translated_traced, translate, translate_with_order,
+    order_relation, run_translated, run_translated_governed, run_translated_traced, translate,
+    translate_with_order,
 };

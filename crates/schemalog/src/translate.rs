@@ -541,6 +541,38 @@ pub fn run_translated_traced(
     Ok((QuadDb::from_relation(quad), stats, trace))
 }
 
+/// Like [`run_translated_traced`], but governed by a
+/// [`tabular_algebra::Budget`]: the underlying TA run honors the
+/// budget's deadline, run-cell allowance, and cancellation token, so a
+/// diverging or oversized SchemaLog_d program trips
+/// [`tabular_algebra::AlgebraError::BudgetExceeded`] with the partial
+/// stats and trace of the translated run.
+pub fn run_translated_governed(
+    program: &SlProgram,
+    input: &QuadDb,
+    budget: &tabular_algebra::Budget,
+) -> Result<(QuadDb, tabular_algebra::EvalStats, tabular_algebra::Trace)> {
+    let ordered = uses_order(program);
+    let fo = if ordered {
+        translate_with_order(program)?
+    } else {
+        translate(program)?
+    };
+    let mut relations = vec![input.to_relation(quad_rel())];
+    if ordered {
+        relations.push(order_relation(input));
+    }
+    let db = RelDatabase::from_relations(relations);
+    let (out, stats, trace) =
+        tabular_relational::compile::run_compiled_governed(&fo, &db, &["Quad"], budget)?;
+    let quad =
+        out.get(quad_rel())
+            .ok_or(SlError::Rel(tabular_relational::RelError::MissingRelation(
+                quad_rel(),
+            )))?;
+    Ok((QuadDb::from_relation(quad), stats, trace))
+}
+
 /// Run the same translation but stop at the FO layer (reference point for
 /// the TA path; useful in benches to separate translation cost from TA
 /// interpretation cost).

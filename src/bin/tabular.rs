@@ -4,15 +4,25 @@
 //! ```sh
 //! tabular run program.ta --table sales.csv [--table more.csv …]
 //!         [--out Name …] [--optimize] [--stats] [--trace]
+//!         [--deadline-ms N] [--cell-budget N]
 //! ```
 //!
 //! Tables load via the CSV convention of `tabular_core::io` (first record:
 //! table name + column attributes; `_` is ⊥; `n:`/`v:` sort tags).
 //! Programs use the textual syntax of `tabular_algebra::parser`. Without
 //! `--out`, every non-scratch table of the final database is printed.
+//!
+//! `--deadline-ms` and `--cell-budget` govern the run with a
+//! `tabular_algebra::Budget`; when a resource trips, the run fails with
+//! the structured `BudgetExceeded` error and `--stats`/`--trace` print
+//! the *partial* statistics and trace collected up to the trip (the
+//! interrupted span is marked `← budget tripped`).
 
 use std::process::ExitCode;
-use tables_paradigm::algebra::{optimize, parser, pretty, run_traced, EvalLimits, TraceLevel};
+use tables_paradigm::algebra::{
+    optimize, parser, pretty, run_governed_traced, AlgebraError, Budget, EvalLimits, EvalStats,
+    Trace, TraceLevel,
+};
 use tables_paradigm::core::{interner, io, Database, Symbol};
 
 struct Options {
@@ -22,10 +32,21 @@ struct Options {
     optimize: bool,
     stats: bool,
     trace: bool,
+    deadline_ms: Option<u64>,
+    cell_budget: Option<usize>,
 }
 
 const USAGE: &str = "usage: tabular run <program.ta> --table <file.csv> [--table …] \
-[--out <Name> …] [--optimize] [--stats] [--trace]\n       tabular fmt <program.ta>";
+[--out <Name> …] [--optimize] [--stats] [--trace] [--deadline-ms <N>] [--cell-budget <N>]\n       \
+tabular fmt <program.ta>\n\
+\n\
+--deadline-ms <N>   fail the run once N milliseconds of wall time pass\n\
+--cell-budget <N>   fail the run once it has produced N cumulative cells\n\
+                    (cells per table: (height+1)*(width+1))\n\
+On a trip the run exits with error `<resource> budget exceeded: spent <S> of <L>`\n\
+(or `evaluation cancelled cooperatively`); the error carries the partial\n\
+statistics and trace, which --stats/--trace print with the interrupted span\n\
+marked `← budget tripped`.";
 
 fn parse_args(args: &[String]) -> Result<(String, Options), String> {
     let mut it = args.iter();
@@ -37,6 +58,8 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
         optimize: false,
         stats: false,
         trace: false,
+        deadline_ms: None,
+        cell_budget: None,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -49,6 +72,14 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
             "--optimize" => opts.optimize = true,
             "--stats" => opts.stats = true,
             "--trace" => opts.trace = true,
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a number")?;
+                opts.deadline_ms = Some(v.parse().map_err(|_| format!("bad --deadline-ms {v:?}"))?);
+            }
+            "--cell-budget" => {
+                let v = it.next().ok_or("--cell-budget needs a number")?;
+                opts.cell_budget = Some(v.parse().map_err(|_| format!("bad --cell-budget {v:?}"))?);
+            }
             _ if arg.starts_with("--") => return Err(format!("unknown flag {arg}\n{USAGE}")),
             _ if opts.program_path.is_empty() => opts.program_path = arg.clone(),
             _ => return Err(format!("unexpected argument {arg}\n{USAGE}")),
@@ -94,7 +125,28 @@ fn execute(command: &str, opts: &Options) -> Result<String, String> {
         },
         ..EvalLimits::default()
     };
-    let (result, stats, trace) = run_traced(&program, &db, &limits).map_err(|e| e.to_string())?;
+    let mut budget = Budget::from_limits(&limits);
+    if let Some(ms) = opts.deadline_ms {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(cells) = opts.cell_budget {
+        budget = budget.with_cell_budget(cells);
+    }
+    let (result, stats, trace) = match run_governed_traced(&program, &db, &budget) {
+        Ok(parts) => parts,
+        // A budget trip still reports the partial stats and trace it
+        // carries — the graceful-degradation contract of the governor.
+        Err(e @ AlgebraError::BudgetExceeded { .. }) => {
+            let mut msg = e.to_string();
+            let AlgebraError::BudgetExceeded { partial, .. } = e else {
+                unreachable!("matched BudgetExceeded above");
+            };
+            msg.push('\n');
+            msg.push_str(&render_observability(opts, &partial.stats, &partial.trace));
+            return Err(msg);
+        }
+        Err(e) => return Err(e.to_string()),
+    };
 
     let mut out = String::new();
     let wanted: Vec<Symbol> = opts.outputs.iter().map(|n| Symbol::name(n)).collect();
@@ -111,6 +163,14 @@ fn execute(command: &str, opts: &Options) -> Result<String, String> {
             out.push('\n');
         }
     }
+    out.push_str(&render_observability(opts, &stats, &trace));
+    Ok(out)
+}
+
+/// The `--stats` / `--trace` sections, shared by the success path and
+/// the partial report of a budget trip.
+fn render_observability(opts: &Options, stats: &EvalStats, trace: &Trace) -> String {
+    let mut out = String::new();
     if opts.stats {
         out.push_str("-- statistics --\n");
         for (op, micros, count) in stats.hottest() {
@@ -123,9 +183,9 @@ fn execute(command: &str, opts: &Options) -> Result<String, String> {
     }
     if opts.trace {
         out.push_str("-- trace --\n");
-        out.push_str(&pretty::render_trace(&trace));
+        out.push_str(&pretty::render_trace(trace));
     }
-    Ok(out)
+    out
 }
 
 fn main() -> ExitCode {
@@ -245,6 +305,60 @@ mod tests {
         let (cmd, opts) = parse_args(&["fmt".into(), program]).unwrap();
         let out = execute(&cmd, &opts).unwrap();
         assert_eq!(out, "T <- GROUP[by A on B](R)\n");
+    }
+
+    #[test]
+    fn cell_budget_trip_reports_partial_stats_and_trace() {
+        // A diverging loop that keeps growing its work table: only the
+        // governor stops it (well before max_while_iters).
+        let program = write_temp("diverge.ta", "while W do W <- PRODUCT(W, Sales) end\n");
+        let work = write_temp("seed.csv", "W,A\nx,1\n");
+        let (cmd, opts) = parse_args(&[
+            "run".into(),
+            program,
+            "--table".into(),
+            sales_csv(),
+            "--table".into(),
+            work,
+            "--stats".into(),
+            "--trace".into(),
+            "--cell-budget".into(),
+            "5000".into(),
+        ])
+        .unwrap();
+        let err = execute(&cmd, &opts).unwrap_err();
+        assert!(
+            err.contains("run cell budget budget exceeded"),
+            "error line:\n{err}"
+        );
+        assert!(err.contains("-- statistics --"), "partial stats:\n{err}");
+        assert!(err.contains("-- trace --"), "partial trace:\n{err}");
+        assert!(err.contains("← budget tripped"), "tripped mark:\n{err}");
+    }
+
+    #[test]
+    fn deadline_flag_is_parsed_and_zero_trips_immediately() {
+        let program = write_temp("t2.ta", "T <- TRANSPOSE(Sales)\n");
+        let (cmd, opts) = parse_args(&[
+            "run".into(),
+            program,
+            "--table".into(),
+            sales_csv(),
+            "--deadline-ms".into(),
+            "0".into(),
+        ])
+        .unwrap();
+        assert_eq!(opts.deadline_ms, Some(0));
+        let err = execute(&cmd, &opts).unwrap_err();
+        assert!(err.contains("deadline"), "{err}");
+        assert!(parse_args(&["run".into(), "p.ta".into(), "--cell-budget".into()]).is_err());
+        assert!(parse_args(&[
+            "run".into(),
+            "p.ta".into(),
+            "--deadline-ms".into(),
+            "soon".into()
+        ])
+        .is_err());
     }
 
     #[test]

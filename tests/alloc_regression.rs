@@ -23,16 +23,19 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use tables_paradigm::core::stats;
 use tables_paradigm::prelude::*;
 
-/// Counts allocator hits while armed; delegates to the system allocator.
+/// Counts allocator hits (and bytes requested) while armed; delegates to
+/// the system allocator.
 struct CountingAlloc;
 
 static ARMED: AtomicBool = AtomicBool::new(false);
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static BYTES: AtomicUsize = AtomicUsize::new(0);
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size(), Ordering::Relaxed);
         }
         System.alloc(layout)
     }
@@ -40,6 +43,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size.saturating_sub(layout.size()), Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
     }
@@ -180,4 +184,47 @@ fn snapshots_allocate_nothing_and_copy_no_cell_buffers() {
     // The run left the caller's database untouched.
     assert_eq!(input.table_str("W").unwrap().height(), 1);
     assert_eq!(out.table_str("W").unwrap().height(), 0);
+
+    // ------------------------------------------------------------------
+    // Guard 4: a PRODUCT whose output would blow the cell limit by
+    // ~1000× fails on the *pre-size estimate* — before the output buffer
+    // reaches the allocator. Two 1000-row operands make a 1,000,001 ×
+    // 5-cell product (≈5M cells ≥ 40 MB of symbols) against a 5,000-cell
+    // limit; the bytes allocated while armed must stay orders of
+    // magnitude below that buffer.
+    // ------------------------------------------------------------------
+    let rows: Vec<Vec<String>> = (0..1000)
+        .map(|i| vec![format!("a{i}"), format!("b{i}")])
+        .collect();
+    let rows: Vec<Vec<&str>> = rows
+        .iter()
+        .map(|r| r.iter().map(String::as_str).collect())
+        .collect();
+    let rows: Vec<&[&str]> = rows.iter().map(Vec::as_slice).collect();
+    let big_l = Table::relational("L", &["A", "B"], &rows);
+    let big_r = Table::relational("R", &["C", "D"], &rows);
+    let input = Database::from_tables([big_l, big_r]);
+    let program = parse("P <- PRODUCT(L, R)").unwrap();
+    let limits = EvalLimits {
+        max_cells: 5_000,
+        ..EvalLimits::default()
+    };
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    BYTES.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let err = run(&program, &input, &limits).unwrap_err();
+    ARMED.store(false, Ordering::SeqCst);
+
+    let msg = err.to_string();
+    assert!(
+        msg.contains("cells per table"),
+        "oversized product must trip the cell limit, got: {msg}"
+    );
+    let bytes = BYTES.load(Ordering::SeqCst);
+    assert!(
+        bytes < 1 << 20,
+        "the rejected product buffer must never reach the allocator \
+         (allocated {bytes} bytes while armed)"
+    );
 }

@@ -339,6 +339,79 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The budget oracle: same program, same cell budget → same trip
+    /// point across every strategy and shard configuration. Run-cell
+    /// charges land once per statement on the evaluating thread, so the
+    /// cumulative spend at the trip — reported in the error string — is
+    /// deterministic even when the work itself is sharded; the partial
+    /// stats carried by the trip agree for the same reason. (Deadline
+    /// and cancellation trips are inherently timing-dependent and are
+    /// excluded: this oracle governs the cell budget only.)
+    #[test]
+    fn budget_trip_points_agree_across_strategies(src in arb_program(), db in arb_input()) {
+        use tables_paradigm::algebra::AlgebraError;
+
+        let program = parse(&src).unwrap_or_else(|e| {
+            panic!("generated program must parse: {e}\n{src}")
+        });
+        let configs = [
+            limits(WhileStrategy::Naive, usize::MAX),
+            limits(WhileStrategy::Naive, 1),
+            limits(WhileStrategy::Delta, usize::MAX),
+            limits(WhileStrategy::Delta, 1),
+        ];
+        let budgets: Vec<Budget> = configs
+            .iter()
+            .map(|l| Budget::from_limits(l).with_cell_budget(800))
+            .collect();
+        let baseline = run_governed_traced(&program, &db, &budgets[0]);
+        let canon_base = baseline.as_ref().map(|(out, _, _)| canonicalize_fresh(out));
+        for (cfg, budget) in configs[1..].iter().zip(&budgets[1..]) {
+            let got = run_governed_traced(&program, &db, budget);
+            match (&baseline, &got) {
+                (Ok(_), Ok((out, _, _))) => {
+                    let expect = canon_base.as_ref().ok().unwrap();
+                    let out = canonicalize_fresh(out);
+                    prop_assert!(
+                        *expect == out,
+                        "budgeted outputs diverge under {:?}/threshold {}\nprogram:\n{}",
+                        cfg.while_strategy, cfg.parallel_threshold, src
+                    );
+                }
+                (Err(e1), Err(e2)) => {
+                    prop_assert_eq!(
+                        e1.to_string(),
+                        e2.to_string(),
+                        "trip points diverge under {:?}/threshold {} for program:\n{}",
+                        cfg.while_strategy, cfg.parallel_threshold, src
+                    );
+                    if let (
+                        AlgebraError::BudgetExceeded { partial: p1, .. },
+                        AlgebraError::BudgetExceeded { partial: p2, .. },
+                    ) = (e1, e2)
+                    {
+                        prop_assert_eq!(
+                            (p1.stats.while_iterations, p1.stats.tables_produced, p1.stats.max_table_cells),
+                            (p2.stats.while_iterations, p2.stats.tables_produced, p2.stats.max_table_cells),
+                            "partial stats diverge at the trip under {:?}/threshold {} for program:\n{}",
+                            cfg.while_strategy, cfg.parallel_threshold, src
+                        );
+                    }
+                }
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "budgeted outcomes diverge under {:?}/threshold {}: baseline ok={}, got ok={}\nprogram:\n{}",
+                        cfg.while_strategy, cfg.parallel_threshold, a.is_ok(), b.is_ok(), src
+                    )));
+                }
+            }
+        }
+    }
+}
+
 /// The oracle's comparison itself must identify two independent runs of a
 /// tagging program (fresh tags differ, structure does not).
 #[test]
