@@ -293,6 +293,13 @@ fn run_body_statement(
     // buffer copies; when a later statement double-buffered over it, the
     // cached handle (sole owner by then) is extended and swapped back in.
     if let Some(inc) = plan_incremental(st, idx, a, &reads, &read_versions, db) {
+        if matches!(inc.plan, IncPlan::Join { .. }) {
+            // The incremental plan is the hash-join kernel probing only
+            // the delta rows: record the fusion decision exactly as the
+            // naive path does.
+            metrics.stats.join_fused += 1;
+            metrics.note_fusion("fused-join");
+        }
         check_virtual_result(inc.out_cells_after, cx, metrics)?;
         let memo = st.memos[idx].as_mut().expect("plan requires a memo");
         let from_version = memo.target_version;
@@ -479,6 +486,15 @@ fn rigid_set(p: &Param) -> SymbolSet {
 enum IncPlan {
     /// Append `r`'s rows after `base` crossed with all of `s`.
     Product { r: Table, s: Table, base: usize },
+    /// Probe `r`'s rows after `base` against the hash index of `s`'s key
+    /// column — the fused-join mirror of [`IncPlan::Product`], appending
+    /// only the matching pairs.
+    Join {
+        r: Table,
+        s: Table,
+        base: usize,
+        cols: ops::JoinCols,
+    },
     /// Append `r`'s raw storage rows after `base` (rename and copy leave
     /// data rows untouched — only the attribute row differs, and that is
     /// already in the cached output).
@@ -491,6 +507,9 @@ impl IncPlan {
     fn apply(self, out: &mut Table) {
         match self {
             IncPlan::Product { r, s, base } => ops::product_append(out, &r, base + 1, &s),
+            IncPlan::Join { r, s, base, cols } => {
+                ops::join_append(out, &r, base + 1, &s, cols);
+            }
             IncPlan::TailRows { r, base } => out.append_rows(|rows| {
                 rows.reserve_rows(r.height() - base);
                 for i in base + 1..=r.height() {
@@ -571,6 +590,39 @@ fn plan_incremental(
                     r: r.clone(),
                     s: s.clone(),
                     base,
+                },
+                new_rows,
+            )
+        }
+        OpKind::FusedJoin { a: pa, b: pb } if rigid(pa) && rigid(pb) => {
+            // Mirror of the Product arm: grown left operand, unchanged
+            // right operand (appended right rows would interleave with the
+            // left-major output order). The fusion columns are re-resolved
+            // against the current operands; a pair the kernel cannot fuse
+            // plans nothing and falls through to `compute_results`, whose
+            // fallback runs the unfused pipeline.
+            if read_versions[1] != memo.read_versions[1] {
+                return None;
+            }
+            let sa = pa.as_ground()?;
+            let sb = pb.as_ground()?;
+            let r = single(reads[0])?;
+            let s = single(reads[1])?;
+            if out_width != r.width() + s.width() {
+                return None;
+            }
+            let cols = ops::fusable_join_cols(r, s, sa, sb)?;
+            let base = base_of(0, r)?;
+            // Count the matches now so the governor charge
+            // (`out_cells_after`) reflects the actual join output before
+            // any row materializes.
+            let new_rows = ops::count_join_matches(r, base + 1, s, cols);
+            (
+                IncPlan::Join {
+                    r: r.clone(),
+                    s: s.clone(),
+                    base,
+                    cols,
                 },
                 new_rows,
             )
@@ -740,6 +792,54 @@ mod tests {
             .collect();
         let rows: Vec<&[&str]> = rows.iter().map(Vec::as_slice).collect();
         Database::from_tables([Table::relational("E", &["A", "B"], &rows)])
+    }
+
+    /// [`tc_program`] with the product/select chain written as the fused
+    /// join the optimizer would produce.
+    fn fused_tc_program() -> crate::program::Program {
+        parse(
+            "TC <- COPY(E)
+             Delta <- COPY(E)
+             while Delta do
+               EStep <- COPY(E)
+               RTC <- RENAME[A -> A0](TC)
+               RTC <- RENAME[B -> B0](RTC)
+               Matched <- FUSEDJOIN[B0 = A](RTC, EStep)
+               Step <- PROJECT[{A0, B}](Matched)
+               Step <- RENAME[A0 -> A](Step)
+               Delta <- DIFFERENCE(Step, TC)
+               TC <- CLASSICALUNION(TC, Delta)
+             end",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fused_join_closure_agrees_with_unfused_on_both_strategies() {
+        let db = chain(8);
+        let (reference, _) =
+            run_with_stats(&tc_program(), &db, &limits(WhileStrategy::Naive)).unwrap();
+        for strategy in [WhileStrategy::Naive, WhileStrategy::Delta] {
+            let (out, stats) = run_with_stats(&fused_tc_program(), &db, &limits(strategy)).unwrap();
+            assert_eq!(
+                reference.table_str("TC").unwrap(),
+                out.table_str("TC").unwrap(),
+                "{strategy:?} fused closure differs from the unfused pipeline"
+            );
+            assert!(stats.join_fused > 0, "{strategy:?} never fused: {stats:?}");
+            assert_eq!(stats.join_unfused, 0, "{strategy:?} fell back: {stats:?}");
+        }
+        // The delta strategy must take the incremental join path, not
+        // re-probe from scratch: the fused statement re-executes each
+        // iteration (its left operand grows), yet the join stays fused.
+        let (_, stats) =
+            run_with_stats(&fused_tc_program(), &db, &limits(WhileStrategy::Delta)).unwrap();
+        assert!(stats.while_delta_skipped > 0);
+        assert_eq!(
+            stats.join_fused as u64,
+            stats.op_counts.get("FUSEDJOIN").map_or(0, |&c| c as u64),
+            "every executed FUSEDJOIN pair fused"
+        );
     }
 
     #[test]

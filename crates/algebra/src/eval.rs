@@ -124,6 +124,13 @@ pub struct EvalStats {
     /// `while` loop executions that requested the delta strategy but fell
     /// back to naive re-evaluation (body not provably delta-safe).
     pub while_fallback_naive: usize,
+    /// `FUSEDJOIN` argument pairs evaluated by the hash-join kernel
+    /// (naive and delta-incremental executions both count; delta skips do
+    /// not, mirroring `op_counts`).
+    pub join_fused: usize,
+    /// `FUSEDJOIN` argument pairs that failed the fusion applicability
+    /// check and ran the unfused product-then-select pipeline.
+    pub join_unfused: usize,
     /// Per-iteration dirty-set sizes (number of names whose contents
     /// changed during the iteration) across all delta-evaluated loops, in
     /// execution order.
@@ -490,31 +497,16 @@ pub(crate) fn compute_results(
                     input_cells += table_cells(t1) + table_cells(t2);
                     let target = denote_target(&a.target, &b2)?;
                     if matches!(a.op, OpKind::Product) {
-                        // Pre-size the only super-linear materialization:
-                        // a product is exactly one output row per row
-                        // pair, so its cell count is known before any
-                        // allocation. Failing here (with the same values
-                        // the post-materialization check in
-                        // `check_results` would report) keeps a blown
-                        // `max_cells` from ever reaching the allocator.
-                        let cells = t1
-                            .height()
-                            .saturating_mul(t2.height())
-                            .saturating_add(1)
-                            .saturating_mul(t1.width() + t2.width() + 1);
-                        if cells > limits.max_cells {
-                            return Err(AlgebraError::LimitExceeded {
-                                what: "cells per table",
-                                limit: limits.max_cells,
-                                attempted: cells,
-                            });
-                        }
+                        presize_product(t1, t2, limits)?;
                     }
                     let out = match &a.op {
                         OpKind::Union => ops::union(t1, t2, target),
                         OpKind::Difference => ops::difference(t1, t2, target),
                         OpKind::Intersect => ops::intersect(t1, t2, target),
                         OpKind::Product => ops::product(t1, t2, target),
+                        OpKind::FusedJoin { a: pa, b: pb } => {
+                            eval_fused_join(t1, t2, pa, pb, target, &b2, limits, metrics)?
+                        }
                         OpKind::ClassicalUnion => ops::classical_union(t1, t2, target),
                         _ => unreachable!("binary dispatch"),
                     };
@@ -526,6 +518,63 @@ pub(crate) fn compute_results(
 
     metrics.note_matched(combos, input_cells);
     Ok(results)
+}
+
+/// Pre-size the only super-linear materializations (`PRODUCT`, and the
+/// unfused fallback of `FUSEDJOIN`): a product is exactly one output row
+/// per row pair, so its cell count is known before any allocation.
+/// Failing here (with the same values the post-materialization check in
+/// [`check_results`] would report) keeps a blown `max_cells` from ever
+/// reaching the allocator.
+fn presize_product(t1: &Table, t2: &Table, limits: &EvalLimits) -> Result<()> {
+    let cells = t1
+        .height()
+        .saturating_mul(t2.height())
+        .saturating_add(1)
+        .saturating_mul(t1.width() + t2.width() + 1);
+    if cells > limits.max_cells {
+        return Err(AlgebraError::LimitExceeded {
+            what: "cells per table",
+            limit: limits.max_cells,
+            attempted: cells,
+        });
+    }
+    Ok(())
+}
+
+/// Evaluate one `FUSEDJOIN[A=B](R, S)` argument pair. The operation is
+/// *defined* as `SELECT[A=B](PRODUCT(R, S))`; when both attributes are
+/// rigid symbols resolving to exactly one column on opposite operands
+/// ([`ops::fusable_join_cols`]), the hash-join kernel produces the
+/// identical table without materializing the product — so the governor's
+/// cell charge (in [`check_results`]) reflects the actual join output,
+/// not the product pre-size, and only the fallback path needs the
+/// [`presize_product`] guard.
+#[allow(clippy::too_many_arguments)]
+fn eval_fused_join(
+    t1: &Table,
+    t2: &Table,
+    pa: &crate::param::Param,
+    pb: &crate::param::Param,
+    target: Symbol,
+    bindings: &Bindings,
+    limits: &EvalLimits,
+    metrics: &mut Metrics,
+) -> Result<Table> {
+    if let (Some(a), Some(b)) = (pa.as_ground(), pb.as_ground()) {
+        if let Some(cols) = ops::fusable_join_cols(t1, t2, a, b) {
+            metrics.stats.join_fused += 1;
+            metrics.note_fusion("fused-join");
+            return Ok(ops::join(t1, t2, cols, target));
+        }
+    }
+    metrics.stats.join_unfused += 1;
+    metrics.note_fusion("fallback-unfused");
+    presize_product(t1, t2, limits)?;
+    let prod = ops::product(t1, t2, target);
+    let a = denote_single(pa, &prod, bindings, "FUSEDJOIN left")?;
+    let b = denote_single(pb, &prod, bindings, "FUSEDJOIN right")?;
+    Ok(ops::select(&prod, a, b, target))
 }
 
 /// Record shape statistics for produced tables, enforce the per-table
@@ -670,6 +719,7 @@ fn apply_unary(
         | OpKind::Difference
         | OpKind::Intersect
         | OpKind::Product
+        | OpKind::FusedJoin { .. }
         | OpKind::ClassicalUnion
         | OpKind::Collapse { .. } => unreachable!("unary dispatch"),
     }

@@ -32,6 +32,7 @@ struct Pending {
     matched: usize,
     input_cells: usize,
     output_cells: usize,
+    fusion: Option<&'static str>,
     iteration: Option<usize>,
     /// Process-wide CoW-copy total when the span opened; `end` differences
     /// against it so the span shows how many cell buffers its work (child
@@ -107,6 +108,7 @@ impl Metrics {
             matched: 0,
             input_cells: 0,
             output_cells: 0,
+            fusion: None,
             iteration,
             cow_base: tabular_core::stats::cow_copies(),
         });
@@ -125,6 +127,18 @@ impl Metrics {
     pub(crate) fn note_output(&mut self, cells: usize) {
         if let Some(p) = self.stack.last_mut() {
             p.output_cells += cells;
+        }
+    }
+
+    /// Annotate the open span with a join-fusion decision. A fallback on
+    /// any argument pair sticks: once `"fallback-unfused"` is noted the
+    /// span keeps it even if other pairs fused, so a mixed statement is
+    /// reported conservatively.
+    pub(crate) fn note_fusion(&mut self, decision: &'static str) {
+        if let Some(p) = self.stack.last_mut() {
+            if p.fusion != Some("fallback-unfused") {
+                p.fusion = Some(decision);
+            }
         }
     }
 
@@ -147,6 +161,7 @@ impl Metrics {
             micros,
             cow_copies: tabular_core::stats::cow_copies().saturating_sub(p.cow_base),
             decision,
+            fusion: p.fusion,
             shard: None,
             iteration: p.iteration,
         });
@@ -171,6 +186,7 @@ impl Metrics {
             micros,
             cow_copies: 0,
             decision: DeltaDecision::Executed,
+            fusion: None,
             shard: Some(shard),
             iteration: None,
         });
@@ -195,6 +211,7 @@ impl Metrics {
             micros: 0,
             cow_copies: 0,
             decision: DeltaDecision::DeltaSkipped,
+            fusion: None,
             shard: None,
             iteration: None,
         });
@@ -223,6 +240,7 @@ impl Metrics {
                 micros: 0,
                 cow_copies: tabular_core::stats::cow_copies().saturating_sub(p.cow_base),
                 decision: DeltaDecision::Aborted,
+                fusion: p.fusion,
                 shard: None,
                 iteration: p.iteration,
             });

@@ -126,6 +126,13 @@ pub struct Span {
     pub cow_copies: u64,
     /// Delta-strategy decision.
     pub decision: DeltaDecision,
+    /// Join-fusion decision for `FUSEDJOIN` assignment spans:
+    /// `"fused-join"` when the hash-join kernel ran, `"fallback-unfused"`
+    /// when the applicability check failed on some argument pair and the
+    /// statement ran the product-then-select pipeline (mixed outcomes
+    /// across pairs record the fallback, the conservative reading).
+    /// `None` for every other span.
+    pub fusion: Option<&'static str>,
     /// Shard id for [`SpanKind::Shard`] spans.
     pub shard: Option<usize>,
     /// 1-based iteration number for [`SpanKind::WhileIter`] spans.
@@ -219,7 +226,7 @@ impl Trace {
                 "{{\"id\":{},\"parent\":{},\"kind\":\"{}\",\"op\":\"{}\",\
                  \"matched\":{},\"input_cells\":{},\"output_cells\":{},\
                  \"micros\":{},\"cow_copies\":{},\"decision\":\"{}\",\
-                 \"shard\":{},\"iteration\":{}}}",
+                 \"fusion\":{},\"shard\":{},\"iteration\":{}}}",
                 s.id,
                 opt_json(s.parent),
                 s.kind.as_str(),
@@ -230,6 +237,7 @@ impl Trace {
                 s.micros,
                 s.cow_copies,
                 s.decision.as_str(),
+                opt_json_str(s.fusion),
                 opt_json(s.shard),
                 opt_json(s.iteration),
             )
@@ -243,6 +251,13 @@ impl Trace {
 fn opt_json<T: std::fmt::Display>(v: Option<T>) -> String {
     match v {
         Some(x) => x.to_string(),
+        None => "null".to_owned(),
+    }
+}
+
+fn opt_json_str(v: Option<&str>) -> String {
+    match v {
+        Some(x) => format!("\"{}\"", escape_json(x)),
         None => "null".to_owned(),
     }
 }
@@ -274,6 +289,7 @@ mod tests {
             micros,
             cow_copies: 0,
             decision: DeltaDecision::Executed,
+            fusion: None,
             shard: None,
             iteration: None,
         }
@@ -310,9 +326,14 @@ mod tests {
         s.shard = Some(2);
         s.iteration = None;
         t.push(s);
+        let mut f = span(2, "FUSEDJOIN", 3);
+        f.fusion = Some("fused-join");
+        t.push(f);
         let json = t.to_json();
         assert!(json.starts_with("{\"dropped\":0,\"spans\":["));
         assert!(json.contains("\"op\":\"SELECT\""));
+        assert!(json.contains("\"fusion\":null"));
+        assert!(json.contains("\"fusion\":\"fused-join\""));
         assert!(json.contains("\"shard\":2"));
         assert!(json.contains("\"iteration\":null"));
         assert!(json.contains("\"decision\":\"executed\""));

@@ -1,0 +1,243 @@
+//! Fused hash join: `SELECT_{A=B}(PRODUCT(R, S))` without the product.
+//!
+//! The paper expresses joins as a Cartesian product followed by a weak
+//! selection, and the relational compiler (Theorem 4.1) emits exactly that
+//! chain — materializing `O(|ρ|·|σ|)` rows only to discard almost all of
+//! them. When the two selection attributes each resolve to exactly one
+//! column on opposite operands, the per-row entry sets are singletons and
+//! weak equality degenerates to plain symbol equality (`{⊥} ≗ {⊥}` holds,
+//! `{⊥} ≗ {v}` does not), so the selection can be pushed into the product
+//! as a classical hash join: build a map from `σ`'s key column, probe with
+//! `ρ`'s, and emit only the matching product rows. Output rows are
+//! byte-identical to the unfused pipeline, in the same left-major order.
+//!
+//! [`fusable_join_cols`] is the applicability check; anything outside it
+//! (repeated attributes, attributes spanning one operand, `A = A`) must
+//! fall back to the unfused `product` + `select` pipeline, because weak
+//! equality then compares entry *sets* spanning both operands.
+
+use std::collections::HashMap;
+
+use tabular_core::{Symbol, Table};
+
+/// Resolved key columns for a fusable join: `left` is a data-column index
+/// of `ρ`, `right` of `σ` (both 1-based), normalized so the probe side is
+/// always the left operand regardless of which of `A`/`B` landed on it
+/// (weak equality is symmetric).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JoinCols {
+    /// Key column in the left (probe) operand.
+    pub left: usize,
+    /// Key column in the right (build) operand.
+    pub right: usize,
+}
+
+/// Decide whether `SELECT_{A=B}` over `PRODUCT(R, S)` can run as a hash
+/// join, and if so on which columns.
+///
+/// Fusion requires `a` to occur as a column attribute exactly once across
+/// the combined columns of `ρ` and `σ`, likewise `b`, and the two
+/// occurrences to sit on *opposite* operands. Then each product row's
+/// entry set under either attribute is the singleton holding that one
+/// cell, and weak set equality is symbol equality. Everything else —
+/// repeated attributes (entry sets spanning both operands), both
+/// attributes on one operand, an attribute absent from both, or `a = b`
+/// (a tautological selection, not a join) — returns `None`.
+pub fn fusable_join_cols(r: &Table, s: &Table, a: Symbol, b: Symbol) -> Option<JoinCols> {
+    if a == b {
+        return None;
+    }
+    let (ra, sa) = (r.cols_named(a), s.cols_named(a));
+    let (rb, sb) = (r.cols_named(b), s.cols_named(b));
+    match (ra.len(), sa.len(), rb.len(), sb.len()) {
+        (1, 0, 0, 1) => Some(JoinCols {
+            left: ra[0],
+            right: sb[0],
+        }),
+        (0, 1, 1, 0) => Some(JoinCols {
+            left: rb[0],
+            right: sa[0],
+        }),
+        _ => None,
+    }
+}
+
+/// `T ← FUSEDJOIN_{A=B}(R, S)`: the fused evaluation of
+/// `SELECT_{A=B}(PRODUCT(R, S))` on columns resolved by
+/// [`fusable_join_cols`]. Output equals the unfused pipeline exactly
+/// (header, row order, row attributes) but peak allocation is
+/// `O(|ρ| + |σ| + |output|)`.
+pub fn join(r: &Table, s: &Table, cols: JoinCols, name: Symbol) -> Table {
+    let width = r.width() + s.width();
+    let mut t = Table::new(name, 0, width);
+    for j in 1..=r.width() {
+        t.set(0, j, r.col_attr(j));
+    }
+    for j in 1..=s.width() {
+        t.set(0, r.width() + j, s.col_attr(j));
+    }
+    join_append(&mut t, r, 1, s, cols);
+    t
+}
+
+/// Append to `acc` the joined rows `ρᵢ × σₖ` with matching keys, for every
+/// `i ≥ from_row`, in the left-major order [`join`] (and `product`) use.
+/// Returns the number of rows appended.
+///
+/// This is the incremental step of the delta `while` strategy, mirroring
+/// [`product_append`](crate::ops::product_append): when `ρ` has only grown
+/// by appended rows and `σ` is unchanged, probing the new rows alone
+/// produces exactly the join's new output.
+pub fn join_append(
+    acc: &mut Table,
+    r: &Table,
+    from_row: usize,
+    s: &Table,
+    cols: JoinCols,
+) -> usize {
+    debug_assert_eq!(
+        acc.width(),
+        r.width() + s.width(),
+        "join_append width mismatch"
+    );
+    if from_row > r.height() {
+        return 0;
+    }
+    let index = build_index(s, cols.right);
+    acc.append_rows(|rows| {
+        let mut appended = 0;
+        for i in from_row..=r.height() {
+            let Some(matches) = index.get(&r.get(i, cols.left)) else {
+                continue;
+            };
+            for &k in matches {
+                let attr = r.get(i, 0).join(s.get(k, 0)).unwrap_or_else(|| r.get(i, 0));
+                rows.push_row_parts(attr, r.data_row(i), s.data_row(k));
+            }
+            appended += matches.len();
+        }
+        appended
+    })
+}
+
+/// Count the rows [`join_append`] would append, without appending. Used by
+/// the delta planner to size the output (and charge the governor) before
+/// committing to the incremental plan.
+pub fn count_join_matches(r: &Table, from_row: usize, s: &Table, cols: JoinCols) -> usize {
+    if from_row > r.height() {
+        return 0;
+    }
+    let index = build_index(s, cols.right);
+    (from_row..=r.height())
+        .map(|i| index.get(&r.get(i, cols.left)).map_or(0, Vec::len))
+        .sum()
+}
+
+/// Hash the build side's key column: key symbol → ascending row indices.
+/// ⊥ keys are indexed like any other symbol, so ⊥ joins exactly ⊥ — the
+/// singleton-weak-equality semantics the fusion precondition guarantees.
+fn build_index(s: &Table, key_col: usize) -> HashMap<Symbol, Vec<usize>> {
+    let mut index: HashMap<Symbol, Vec<usize>> = HashMap::new();
+    for k in 1..=s.height() {
+        index.entry(s.get(k, key_col)).or_default().push(k);
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{product, select};
+
+    fn nm(x: &str) -> Symbol {
+        Symbol::name(x)
+    }
+
+    fn unfused(r: &Table, s: &Table, a: Symbol, b: Symbol, name: Symbol) -> Table {
+        select(&product(r, s, nm("scratch")), a, b, name)
+    }
+
+    #[test]
+    fn fusable_requires_singleton_columns_on_opposite_operands() {
+        let r = Table::relational("R", &["A", "B"], &[&["1", "2"]]);
+        let s = Table::relational("S", &["C", "D"], &[&["2", "3"]]);
+        assert_eq!(
+            fusable_join_cols(&r, &s, nm("B"), nm("C")),
+            Some(JoinCols { left: 2, right: 1 })
+        );
+        // Swapped attribute roles normalize to the same columns.
+        assert_eq!(
+            fusable_join_cols(&r, &s, nm("C"), nm("B")),
+            Some(JoinCols { left: 2, right: 1 })
+        );
+        // Both attributes on one operand: not a join.
+        assert_eq!(fusable_join_cols(&r, &s, nm("A"), nm("B")), None);
+        // Absent attribute.
+        assert_eq!(fusable_join_cols(&r, &s, nm("B"), nm("Z")), None);
+        // A = A is a tautology, not a join.
+        assert_eq!(fusable_join_cols(&r, &s, nm("B"), nm("B")), None);
+        // Repeated attribute across operands: entry sets span both.
+        let s2 = Table::relational("S", &["B", "C"], &[&["2", "3"]]);
+        assert_eq!(fusable_join_cols(&r, &s2, nm("B"), nm("C")), None);
+    }
+
+    #[test]
+    fn join_matches_unfused_pipeline_exactly() {
+        let r = Table::relational(
+            "R",
+            &["A", "B"],
+            &[&["1", "2"], &["3", "2"], &["5", "6"], &["7", "8"]],
+        );
+        let s = Table::relational(
+            "S",
+            &["C", "D"],
+            &[&["2", "x"], &["2", "y"], &["8", "z"], &["9", "w"]],
+        );
+        let cols = fusable_join_cols(&r, &s, nm("B"), nm("C")).unwrap();
+        let fused = join(&r, &s, cols, nm("T"));
+        let reference = unfused(&r, &s, nm("B"), nm("C"), nm("T"));
+        assert_eq!(fused, reference);
+        assert_eq!(fused.height(), 5); // 2×{x,y} twice + 8×z once
+    }
+
+    #[test]
+    fn null_keys_join_only_null_keys() {
+        // {⊥} ≗ {⊥} holds but {⊥} ≗ {v} does not: ⊥ is its own key.
+        let r = Table::from_grid(&[&["R", "A"], &["_", "_"], &["_", "v"]]).unwrap();
+        let s = Table::from_grid(&[&["S", "B"], &["_", "_"], &["_", "w"]]).unwrap();
+        let cols = fusable_join_cols(&r, &s, nm("A"), nm("B")).unwrap();
+        let fused = join(&r, &s, cols, nm("T"));
+        assert_eq!(fused, unfused(&r, &s, nm("A"), nm("B"), nm("T")));
+        assert_eq!(fused.height(), 1); // only ⊥ ⋈ ⊥
+    }
+
+    #[test]
+    fn join_append_from_row_matches_tail_of_full_join() {
+        let r = Table::relational("R", &["A"], &[&["1"], &["2"], &["1"]]);
+        let s = Table::relational("S", &["B"], &[&["1"], &["2"], &["1"]]);
+        let cols = fusable_join_cols(&r, &s, nm("A"), nm("B")).unwrap();
+        let full = join(&r, &s, cols, nm("T"));
+        // Rebuild incrementally: first two probe rows, then the third.
+        let r_prefix = r.retain_rows(|i| i <= 2);
+        let mut acc = join(&r_prefix, &s, cols, nm("T"));
+        let added = join_append(&mut acc, &r, 3, &s, cols);
+        assert_eq!(acc, full);
+        assert_eq!(added, 2);
+        assert_eq!(count_join_matches(&r, 3, &s, cols), 2);
+        assert_eq!(count_join_matches(&r, 1, &s, cols), full.height());
+        assert_eq!(count_join_matches(&r, 4, &s, cols), 0);
+    }
+
+    #[test]
+    fn join_preserves_row_attributes_via_informational_join() {
+        let r = Table::from_grid(&[&["R", "A"], &["p", "1"], &["_", "2"]]).unwrap();
+        let s = Table::from_grid(&[&["S", "B"], &["q", "1"], &["p", "2"]]).unwrap();
+        let cols = fusable_join_cols(&r, &s, nm("A"), nm("B")).unwrap();
+        let fused = join(&r, &s, cols, nm("T"));
+        assert_eq!(fused, unfused(&r, &s, nm("A"), nm("B"), nm("T")));
+        // p ⋈ q has no join: the left row attribute wins (left-biased rule).
+        assert_eq!(fused.get(1, 0), nm("p"));
+        // ⊥ absorbs: the 2-row pair carries the right side's p.
+        assert_eq!(fused.get(2, 0), nm("p"));
+    }
+}

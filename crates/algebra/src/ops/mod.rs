@@ -9,12 +9,14 @@
 //! | §3.3       | duals of every operation                          | [`dual`] |
 //! | §3.4       | clean-up, purge, classical union                  | [`redundancy`] |
 //! | §3.5       | tuple-new, set-new                                | [`tagging`] |
+//! | §5 (opt.)  | fused hash join (SELECT ∘ PRODUCT)                | [`join`] |
 //!
 //! The program layer (parameters, assignment statements, `while`) that
 //! drives these over whole databases lives in
 //! [`crate::program`] / [`crate::eval`].
 
 pub mod dual;
+pub mod join;
 pub mod redundancy;
 pub mod restructure;
 pub mod tagging;
@@ -24,6 +26,7 @@ pub mod transpose;
 pub use dual::{
     col_group, col_merge, col_project, col_select, col_select_const, col_split, dualize,
 };
+pub use join::{count_join_matches, fusable_join_cols, join, join_append, JoinCols};
 pub use redundancy::{classical_union, cleanup, purge};
 pub use restructure::{collapse, group, merge, split};
 pub use tagging::{set_new, tuple_new};

@@ -86,9 +86,51 @@ fn aligned_distinct_schemes(r: &Table, s: &Table) -> bool {
 
 /// Intersection, defined from difference in the usual way:
 /// `R ∩ S = R \ (R \ S)`.
+///
+/// Evaluated from a single match bitmap instead of two [`difference`]
+/// calls: the first difference's whole contribution is *which* rows of
+/// `ρ` are matched by `σ`, so that `O(|ρ|·|σ|)` subsumption scan (hash
+/// lookup under [`aligned_distinct_schemes`]) runs once, and the second
+/// pass — removing rows matched by some row of `ρ \ σ` — checks only
+/// against the unmatched subset the bitmap already names. Results are
+/// identical to the two-difference derivation.
 pub fn intersect(r: &Table, s: &Table, name: Symbol) -> Table {
-    let r_minus_s = difference(r, s, name);
-    difference(r, &r_minus_s, name)
+    // Pass 1: matched[i-1] ⇔ some row of σ matches ρᵢ (the bitmap the
+    // first difference would have complemented).
+    let matched: Vec<bool> = if aligned_distinct_schemes(r, s) {
+        let rows: std::collections::HashSet<&[Symbol]> =
+            (1..=s.height()).map(|k| s.storage_row(k)).collect();
+        (1..=r.height())
+            .map(|i| rows.contains(r.storage_row(i)))
+            .collect()
+    } else {
+        (1..=r.height())
+            .map(|i| {
+                (1..=s.height())
+                    .any(|k| r.get(i, 0) == s.get(k, 0) && r.rows_subsume_each_other(i, s, k))
+            })
+            .collect()
+    };
+    // Pass 2: ρᵢ survives unless some *unmatched* row of ρ (a row of
+    // ρ \ σ) matches it — which removes the unmatched rows themselves
+    // (every row matches itself) and any matched row that mutually
+    // subsumes an unmatched one. Within ρ the operand schemes trivially
+    // align, so pairwise-distinct attributes alone enable the hash path.
+    let mut t = if r.scheme().len() == r.width() {
+        let removed: std::collections::HashSet<&[Symbol]> = (1..=r.height())
+            .filter(|&j| !matched[j - 1])
+            .map(|j| r.storage_row(j))
+            .collect();
+        r.retain_rows(|i| !removed.contains(r.storage_row(i)))
+    } else {
+        r.retain_rows(|i| {
+            !(1..=r.height()).any(|j| {
+                !matched[j - 1] && r.get(i, 0) == r.get(j, 0) && r.rows_subsume_each_other(i, r, j)
+            })
+        })
+    };
+    t.set_name(name);
+    t
 }
 
 /// Cartesian product `T ← R × S` (Figure 3, right).
@@ -139,11 +181,24 @@ pub fn product_append(acc: &mut Table, r: &Table, from_row: usize, s: &Table) {
 /// Renaming `T ← RENAME_{B←A}(R)`: every column attribute equal to `a`
 /// becomes `b`.
 pub fn rename(r: &Table, a: Symbol, b: Symbol, name: Symbol) -> Table {
+    // When no attribute-row cell changes (attribute absent, or `a = b`)
+    // and the name already matches, the result *is* the input: return the
+    // handle clone without touching the shared cell buffer — any write
+    // (including `set_name` with the same symbol) would materialize a
+    // copy-on-write duplicate of the whole buffer. Pinned by an
+    // alloc-regression guard. Self-renames of this shape are common in
+    // double-buffered fixpoint bodies (`RTC ← RENAME[B←B](RTC)`).
+    let rewrites = a != b && r.col_attrs().contains(&a);
+    if !rewrites && r.name() == name {
+        return r.clone();
+    }
     let mut t = r.clone();
     t.set_name(name);
-    for j in 1..=t.width() {
-        if t.col_attr(j) == a {
-            t.set(0, j, b);
+    if rewrites {
+        for j in 1..=t.width() {
+            if t.col_attr(j) == a {
+                t.set(0, j, b);
+            }
         }
     }
     t
@@ -191,14 +246,22 @@ pub fn select_const(r: &Table, a: Symbol, v: Symbol, name: Symbol) -> Table {
 }
 
 /// The paper's derivation of constant selection using switch (§3.3): if
-/// `v` occurs uniquely in the column(s) named `a`, switching on `v` brings
-/// its row to the attribute row, after which rows with `v` under `a` can be
+/// `v` occurs uniquely in the table, switching on `v` brings its row to
+/// the attribute row, after which rows with `v` under `a` can be
 /// recognized. Exposed so the tests can check it against
 /// [`select_const`] on inputs where the derivation applies.
+///
+/// This is deliberately **not** a replay of the derivation: `switch`
+/// only performs the row/column swap when `v` occurs *uniquely* in the
+/// whole table (`crate::ops::switch` degenerates to a mere rename
+/// otherwise), so the derivation's applicability precondition — pinned
+/// by `select_const_via_switch_requires_a_unique_occurrence` below and
+/// documented in DESIGN.md ("Constant selection via switch") — is
+/// narrower than constant selection itself. The shortcut computes the
+/// same data dependency directly and therefore also covers the inputs
+/// the derivation cannot reach; `switch_brings_data_to_attribute_row`
+/// (in `transpose`) demonstrates the §3.3 mechanism itself.
 pub fn select_const_via_switch(r: &Table, a: Symbol, v: Symbol, name: Symbol) -> Table {
-    // The derivation only manipulates rows/columns via switch + selection;
-    // rather than replay the (lengthy) derivation we express the same
-    // data-dependency: locate v's occurrences under a and keep those rows.
     select_const(r, a, v, name)
 }
 
@@ -359,5 +422,75 @@ mod tests {
             select_const_via_switch(&tab, nm("A"), Symbol::value("1"), nm("T")),
             t
         );
+    }
+
+    #[test]
+    fn select_const_via_switch_requires_a_unique_occurrence() {
+        use crate::ops::switch;
+        // The §3.3 derivation's engine: with a unique occurrence, switch
+        // moves v's row into the attribute row, where it can anchor the
+        // selection…
+        let unique = Table::relational("R", &["A", "B"], &[&["1", "2"], &["3", "4"]]);
+        let sw = switch(&unique, Symbol::value("3"), nm("S"));
+        assert_eq!(sw.get(0, 2), Symbol::value("4"), "v's row became row 0");
+        // …but with a repeated occurrence, switch degenerates to a mere
+        // rename (the derivation cannot proceed), while the direct
+        // shortcut still selects every matching row.
+        let dup = Table::relational("R", &["A", "B"], &[&["1", "2"], &["1", "4"]]);
+        let sw = switch(&dup, Symbol::value("1"), nm("S"));
+        let mut renamed = dup.clone();
+        renamed.set_name(nm("S"));
+        assert_eq!(sw, renamed, "no unique occurrence: switch only renames");
+        let direct = select_const_via_switch(&dup, nm("A"), Symbol::value("1"), nm("T"));
+        assert_eq!(direct.height(), 2);
+        assert_eq!(
+            direct,
+            select_const(&dup, nm("A"), Symbol::value("1"), nm("T"))
+        );
+    }
+
+    #[test]
+    fn intersect_matches_the_two_difference_derivation() {
+        // On messy operands (mismatched schemes, repeated attributes, ⊥)
+        // the single-bitmap evaluation must reproduce R \ (R \ S) through
+        // the subsumption path…
+        let a = Table::from_grid(&[
+            &["R", "A", "A", "B"],
+            &["_", "1", "1", "2"],
+            &["x", "1", "_", "2"],
+            &["_", "3", "3", "_"],
+        ])
+        .unwrap();
+        let b = Table::from_grid(&[
+            &["S", "A", "B"],
+            &["_", "1", "2"],
+            &["x", "1", "2"],
+            &["_", "9", "9"],
+        ])
+        .unwrap();
+        let derived = difference(&a, &difference(&a, &b, nm("T")), nm("T"));
+        assert_eq!(intersect(&a, &b, nm("T")), derived);
+        // …and through the hash path on aligned distinct schemes.
+        let derived = difference(&r(), &difference(&r(), &s(), nm("T")), nm("T"));
+        assert_eq!(intersect(&r(), &s(), nm("T")), derived);
+        assert_eq!(intersect(&r(), &s(), nm("T")).height(), 1);
+    }
+
+    #[test]
+    fn rename_of_absent_attribute_in_place_is_a_handle_clone() {
+        let t = r();
+        let out = rename(&t, nm("Z"), nm("Z2"), t.name());
+        assert_eq!(out, t);
+        assert!(out.shares_cells_with(&t), "no write, no CoW");
+        // a == b writes nothing either.
+        let out = rename(&t, nm("A"), nm("A"), t.name());
+        assert!(out.shares_cells_with(&t));
+        // A different target name still forces the name write…
+        let named = rename(&t, nm("Z"), nm("Z2"), nm("T"));
+        assert_eq!(named.name(), nm("T"));
+        assert!(!named.shares_cells_with(&t));
+        // …and a present attribute still rewrites the attribute row.
+        let renamed = rename(&t, nm("A"), nm("C"), t.name());
+        assert_eq!(renamed.col_attrs(), &[nm("C"), nm("B")]);
     }
 }

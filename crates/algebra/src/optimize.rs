@@ -188,9 +188,98 @@ fn fuse_in(stmts: &mut Vec<Statement>) {
     }
 }
 
-/// The full pipeline: copy forwarding, then dead-code elimination.
+/// Fuse `s ← PRODUCT(R, S); T ← SELECT[A=B](s)` into
+/// `T ← FUSEDJOIN[A=B](R, S)` when `s` is scratch, produced by the
+/// immediately preceding statement, read nowhere else, and `A`/`B` are
+/// ground symbols (so their denotation cannot depend on the product table
+/// that no longer exists). Straight-line segments only, like
+/// [`forward_copies`].
+///
+/// The rewrite is unconditionally sound: `FUSEDJOIN[A=B](R, S)` is
+/// *defined* as `SELECT[A=B](PRODUCT(R, S))`, and the evaluator decides
+/// per argument pair whether the hash-join kernel applies
+/// ([`crate::ops::fusable_join_cols`]) or the unfused pipeline must run.
+pub fn fuse_joins(program: &Program) -> Program {
+    let mut live = SymbolSet::new();
+    if read_set(&program.statements, &mut live).is_none() {
+        return program.clone();
+    }
+    let mut out = program.clone();
+    fuse_joins_in(&mut out.statements);
+    out
+}
+
+fn fuse_joins_in(stmts: &mut Vec<Statement>) {
+    fn count_reads(stmts: &[Statement], of: Symbol) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Statement::Assign(a) => a.args.iter().filter(|p| p.as_ground() == Some(of)).count(),
+                Statement::While { cond, body } => {
+                    usize::from(cond.as_ground() == Some(of)) + count_reads(body, of)
+                }
+            })
+            .sum()
+    }
+
+    let mut i = 1;
+    while i < stmts.len() {
+        let fused = {
+            let (head, tail) = stmts.split_at(i);
+            let prev = head.last().expect("i >= 1");
+            match (&prev, &tail[0]) {
+                (Statement::Assign(p), Statement::Assign(c)) => {
+                    let produced = p.target.as_ground();
+                    let selected = match (&c.op, c.args.as_slice()) {
+                        (OpKind::Select { a, b }, [arg])
+                            if a.as_ground().is_some() && b.as_ground().is_some() =>
+                        {
+                            arg.as_ground()
+                        }
+                        _ => None,
+                    };
+                    match (produced, selected, &p.op) {
+                        (Some(s), Some(src), OpKind::Product)
+                            if s == src && is_scratch(s) && count_reads(stmts, s) == 1 =>
+                        {
+                            let OpKind::Select { a, b } = &c.op else {
+                                unreachable!("matched above");
+                            };
+                            Some(Assignment {
+                                target: c.target.clone(),
+                                op: OpKind::FusedJoin {
+                                    a: a.clone(),
+                                    b: b.clone(),
+                                },
+                                args: p.args.clone(),
+                            })
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            }
+        };
+        if let Some(joined) = fused {
+            stmts[i - 1] = Statement::Assign(joined);
+            stmts.remove(i);
+        } else {
+            match &mut stmts[i] {
+                Statement::While { body, .. } => fuse_joins_in(body),
+                Statement::Assign(_) => {}
+            }
+            i += 1;
+        }
+    }
+    if let Some(Statement::While { body, .. }) = stmts.first_mut() {
+        fuse_joins_in(body);
+    }
+}
+
+/// The full pipeline: copy forwarding, join fusion, then dead-code
+/// elimination.
 pub fn optimize(program: &Program) -> Program {
-    eliminate_dead(&forward_copies(program))
+    eliminate_dead(&fuse_joins(&forward_copies(program)))
 }
 
 #[cfg(test)]
@@ -324,6 +413,99 @@ mod tests {
         let a = run(&p, &db, &EvalLimits::default()).unwrap();
         let b = run(&opt, &db, &EvalLimits::default()).unwrap();
         assert!(compare_visible(&a, &b));
+    }
+
+    #[test]
+    fn select_over_scratch_product_fuses_into_a_join() {
+        let p = Program::new()
+            .assign(
+                Param::sym(scratch(1)),
+                OpKind::Product,
+                vec![Param::name("R"), Param::name("S")],
+            )
+            .assign(
+                Param::name("Out"),
+                OpKind::Select {
+                    a: Param::name("B"),
+                    b: Param::name("C"),
+                },
+                vec![Param::sym(scratch(1))],
+            );
+        let opt = optimize(&p);
+        assert_eq!(opt.len(), 1);
+        let Statement::Assign(a) = &opt.statements[0] else {
+            panic!("assignment expected");
+        };
+        assert_eq!(a.target, Param::name("Out"));
+        assert!(matches!(a.op, OpKind::FusedJoin { .. }));
+        assert_eq!(a.args, vec![Param::name("R"), Param::name("S")]);
+
+        let db = Database::from_tables([
+            tabular_core::Table::relational("R", &["A", "B"], &[&["1", "2"], &["3", "4"]]),
+            tabular_core::Table::relational("S", &["C", "D"], &[&["2", "x"], &["9", "y"]]),
+        ]);
+        let a = run(&p, &db, &EvalLimits::default()).unwrap();
+        let b = run(&opt, &db, &EvalLimits::default()).unwrap();
+        assert!(compare_visible(&a, &b));
+    }
+
+    #[test]
+    fn fusion_respects_multiple_readers_and_visible_targets() {
+        // The product result is read twice: fusing would lose it.
+        let multi = Program::new()
+            .assign(
+                Param::sym(scratch(1)),
+                OpKind::Product,
+                vec![Param::name("R"), Param::name("S")],
+            )
+            .assign(
+                Param::name("A"),
+                OpKind::Select {
+                    a: Param::name("B"),
+                    b: Param::name("C"),
+                },
+                vec![Param::sym(scratch(1))],
+            )
+            .assign(Param::name("B"), OpKind::Copy, vec![Param::sym(scratch(1))]);
+        assert_eq!(optimize(&multi).len(), 3);
+
+        // A user-visible product is observable output: never fused away.
+        let visible = Program::new()
+            .assign(
+                Param::name("P"),
+                OpKind::Product,
+                vec![Param::name("R"), Param::name("S")],
+            )
+            .assign(
+                Param::name("Out"),
+                OpKind::Select {
+                    a: Param::name("B"),
+                    b: Param::name("C"),
+                },
+                vec![Param::name("P")],
+            );
+        assert_eq!(optimize(&visible).len(), 2);
+    }
+
+    #[test]
+    fn fusion_requires_ground_selection_attributes() {
+        // A pair parameter denotes a position *in the product table*; the
+        // rewrite would change what it points at.
+        let p = Program::new()
+            .assign(
+                Param::sym(scratch(1)),
+                OpKind::Product,
+                vec![Param::name("R"), Param::name("S")],
+            )
+            .assign(
+                Param::name("Out"),
+                OpKind::Select {
+                    a: Param::pair(Param::name("r"), Param::name("c")),
+                    b: Param::name("C"),
+                },
+                vec![Param::sym(scratch(1))],
+            );
+        assert_eq!(fuse_joins(&p).len(), 2);
     }
 
     /// Compare databases on their user-visible (non-scratch) tables.

@@ -317,6 +317,14 @@ impl Parser {
                 self.expect(&Tok::RBracket, "`]`")?;
                 OpKind::Select { a, b }
             }
+            "FUSEDJOIN" => {
+                self.expect(&Tok::LBracket, "`[`")?;
+                let a = self.parse_param()?;
+                self.expect(&Tok::Eq, "`=`")?;
+                let b = self.parse_param()?;
+                self.expect(&Tok::RBracket, "`]`")?;
+                OpKind::FusedJoin { a, b }
+            }
             "SELECTCONST" => {
                 self.expect(&Tok::LBracket, "`[`")?;
                 let a = self.parse_param()?;

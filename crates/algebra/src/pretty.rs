@@ -112,7 +112,7 @@ fn render_op(op: &OpKind, out: &mut String) {
             render_param(attrs, out);
             out.push(']');
         }
-        OpKind::Select { a, b } => {
+        OpKind::Select { a, b } | OpKind::FusedJoin { a, b } => {
             out.push('[');
             render_param(a, out);
             out.push_str(" = ");
@@ -299,32 +299,37 @@ fn render_trace_line(s: &Span, depth: usize, out: &mut String) {
             )
             .unwrap();
         }
-        SpanKind::Assign => match s.decision {
-            DeltaDecision::DeltaSkipped => {
-                writeln!(out, "{} (delta-skipped, {} tables cached)", s.op, s.matched).unwrap();
+        SpanKind::Assign => {
+            // Join-fusion decision, e.g. `FUSEDJOIN (fused-join)` — shows
+            // why a FUSEDJOIN statement did or did not run the hash path.
+            let fusion = s.fusion.map(|f| format!(" ({f})")).unwrap_or_default();
+            match s.decision {
+                DeltaDecision::DeltaSkipped => {
+                    writeln!(out, "{} (delta-skipped, {} tables cached)", s.op, s.matched).unwrap();
+                }
+                DeltaDecision::Aborted => {
+                    writeln!(
+                        out,
+                        "{}{} matched={} in={} out={} ← budget tripped",
+                        s.op, fusion, s.matched, s.input_cells, s.output_cells
+                    )
+                    .unwrap();
+                }
+                _ => {
+                    let cow = if s.cow_copies > 0 {
+                        format!(" cow={}", s.cow_copies)
+                    } else {
+                        String::new()
+                    };
+                    writeln!(
+                        out,
+                        "{}{} matched={} in={} out={}{} [{} µs]",
+                        s.op, fusion, s.matched, s.input_cells, s.output_cells, cow, s.micros
+                    )
+                    .unwrap();
+                }
             }
-            DeltaDecision::Aborted => {
-                writeln!(
-                    out,
-                    "{} matched={} in={} out={} ← budget tripped",
-                    s.op, s.matched, s.input_cells, s.output_cells
-                )
-                .unwrap();
-            }
-            _ => {
-                let cow = if s.cow_copies > 0 {
-                    format!(" cow={}", s.cow_copies)
-                } else {
-                    String::new()
-                };
-                writeln!(
-                    out,
-                    "{} matched={} in={} out={}{} [{} µs]",
-                    s.op, s.matched, s.input_cells, s.output_cells, cow, s.micros
-                )
-                .unwrap();
-            }
-        },
+        }
     }
 }
 
@@ -352,6 +357,7 @@ mod tests {
             T <- RENAME[A -> B](R)
             T <- PROJECT[{A, B}](R)
             T <- SELECT[A = B](R)
+            T <- FUSEDJOIN[A = B](R, S)
             T <- SELECTCONST[A = v:50](R)
             T <- GROUP[by {Region} on {Sold}](R)
             T <- MERGE[on {Sold} by {Region}](R)

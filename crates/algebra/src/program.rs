@@ -98,6 +98,17 @@ pub enum OpKind {
         /// New column attribute.
         attr: Param,
     },
+    /// Fused `SELECT_{A=B} ∘ PRODUCT` — an internal hash-join operator the
+    /// optimizer introduces for single-use scratch `s ← PRODUCT(R,S);
+    /// T ← SELECT[A=B](s)` chains; semantically identical to the unfused
+    /// pipeline but never materializes the cross product when the
+    /// attributes resolve to one column on each operand.
+    FusedJoin {
+        /// Left attribute.
+        a: Param,
+        /// Right attribute.
+        b: Param,
+    },
     /// Copy under a new name — derived (`RENAME_{A←A}`).
     Copy,
     /// Classical union — derived (union ∘ purge ∘ clean-up, §3.4).
@@ -112,6 +123,7 @@ impl OpKind {
             | OpKind::Difference
             | OpKind::Intersect
             | OpKind::Product
+            | OpKind::FusedJoin { .. }
             | OpKind::ClassicalUnion => 2,
             _ => 1,
         }
@@ -138,6 +150,7 @@ impl OpKind {
             OpKind::Purge { .. } => "PURGE",
             OpKind::TupleNew { .. } => "TUPLENEW",
             OpKind::SetNew { .. } => "SETNEW",
+            OpKind::FusedJoin { .. } => "FUSEDJOIN",
             OpKind::Copy => "COPY",
             OpKind::ClassicalUnion => "CLASSICALUNION",
         }

@@ -31,6 +31,15 @@ struct Row {
     micros: u128,
 }
 
+/// The join-fusion head-to-head, summarized for `BENCH_5.json`.
+struct FusionSummary {
+    unfused_us: u128,
+    fused_us: u128,
+    kernel_runs: usize,
+    product_cells: usize,
+    join_cells: usize,
+}
+
 fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
     let start = Instant::now();
     let out = f();
@@ -184,6 +193,67 @@ fn main() {
             outcome: verdict(ok),
             micros: us_delta,
         });
+    }
+
+    // The optimizer's join fusion on the same closure: the loop's
+    // SELECT-over-PRODUCT pipeline vs the FUSEDJOIN hash kernel, both
+    // under the default (delta) strategy. Span traces expose how many
+    // cells the staged products materialize and the fused join avoids.
+    let fusion: FusionSummary;
+    {
+        let unfused = tabular_bench::ta_tc_program();
+        let fused = tabular_bench::ta_tc_fused_program();
+        let db = tabular_bench::ta_chain_db(24);
+        let median_of = |f: &dyn Fn() -> u128| {
+            let mut samples: Vec<u128> = (0..9).map(|_| f()).collect();
+            samples.sort_unstable();
+            samples[samples.len() / 2]
+        };
+        let us_unfused = median_of(&|| timed(|| run(&unfused, &db, &limits).unwrap()).1);
+        let us_fused = median_of(&|| timed(|| run(&fused, &db, &limits).unwrap()).1);
+        let spans_limits = EvalLimits {
+            trace: TraceLevel::Spans,
+            ..EvalLimits::default()
+        };
+        let (out_u, _, trace_u) = run_traced(&unfused, &db, &spans_limits).unwrap();
+        let (out_f, stats_f, trace_f) = run_traced(&fused, &db, &spans_limits).unwrap();
+        let product_cells: usize = trace_u
+            .spans()
+            .filter(|s| s.op == "PRODUCT")
+            .map(|s| s.output_cells)
+            .sum();
+        let join_cells: usize = trace_f
+            .spans()
+            .filter(|s| s.op == "FUSEDJOIN")
+            .map(|s| s.output_cells)
+            .sum();
+        let same = out_u.table_str("TC").unwrap() == out_f.table_str("TC").unwrap();
+        let speedup = us_unfused as f64 / us_fused.max(1) as f64;
+        rows.push(Row {
+            id: "join_fused",
+            what: format!(
+                "TC 24-chain fused hash join: {us_fused}µs, {} kernel runs, {join_cells} cells out",
+                stats_f.join_fused
+            ),
+            outcome: verdict(same && stats_f.join_fused > 0 && stats_f.join_unfused == 0),
+            micros: us_fused,
+        });
+        rows.push(Row {
+            id: "join_unfused",
+            what: format!(
+                "TC 24-chain unfused SELECT∘PRODUCT: {us_unfused}µs, \
+                 {product_cells} product cells staged ({speedup:.1}× vs fused)"
+            ),
+            outcome: verdict(same && product_cells > join_cells),
+            micros: us_unfused,
+        });
+        fusion = FusionSummary {
+            unfused_us: us_unfused,
+            fused_us: us_fused,
+            kernel_runs: stats_f.join_fused,
+            product_cells,
+            join_cells,
+        };
     }
 
     // The tracing layer on the same closure: spans on, the per-op trace
@@ -586,10 +656,61 @@ fn main() {
         rows.len() - failed,
         failed
     );
+    // Machine-readable artifact: every row plus the join-fusion summary.
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"id\": {}, \"what\": {}, \"outcome\": {}, \"micros\": {}}}",
+                json_str(r.id),
+                json_str(&r.what),
+                json_str(&r.outcome),
+                r.micros
+            )
+        })
+        .collect();
+    let speedup = fusion.unfused_us as f64 / fusion.fused_us.max(1) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"tc_chain_24\",\n  \"fusion\": {{\"unfused_us\": {}, \
+         \"fused_us\": {}, \"speedup\": {:.2}, \"kernel_runs\": {}, \
+         \"product_cells_staged\": {}, \"join_cells_out\": {}, \"cells_avoided\": {}}},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        fusion.unfused_us,
+        fusion.fused_us,
+        speedup,
+        fusion.kernel_runs,
+        fusion.product_cells,
+        fusion.join_cells,
+        fusion.product_cells.saturating_sub(fusion.join_cells),
+        json_rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write("BENCH_5.json", &json) {
+        eprintln!("could not write BENCH_5.json: {e}");
+    } else {
+        println!("wrote BENCH_5.json ({:.1}× fused speedup)", speedup);
+    }
     assert_eq!(failed, 0, "experiment regressions");
     let _ = SymbolSet::new(); // keep the prelude import exercised
 }
 
 fn verdict(ok: bool) -> String {
     if ok { "verified" } else { "FAILED" }.to_string()
+}
+
+/// Minimal JSON string quoting (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

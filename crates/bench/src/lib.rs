@@ -72,6 +72,31 @@ pub fn ta_tc_program() -> tabular_algebra::Program {
     .expect("fixed program parses")
 }
 
+/// [`ta_tc_program`] with the loop's `PRODUCT`-then-`SELECT` pair
+/// replaced by the fused hash-join operator the optimizer introduces —
+/// the workload behind the `join_fused` report row. Same closure, but
+/// the `|RTC| · |EStep|` intermediate product is never materialized:
+/// matching rows are emitted straight from the hash probe, and the
+/// delta strategy probes only the rows `RTC` gained since the previous
+/// iteration.
+pub fn ta_tc_fused_program() -> tabular_algebra::Program {
+    tabular_algebra::parser::parse(
+        "TC <- COPY(E)
+         Frontier <- COPY(E)
+         while Frontier do
+           EStep <- COPY(E)
+           RTC <- RENAME[A -> A0](TC)
+           RTC <- RENAME[B -> B0](RTC)
+           Matched <- FUSEDJOIN[B0 = A](RTC, EStep)
+           Step <- PROJECT[{A0, B}](Matched)
+           Step <- RENAME[A0 -> A](Step)
+           Frontier <- DIFFERENCE(Step, TC)
+           TC <- CLASSICALUNION(TC, Frontier)
+         end",
+    )
+    .expect("fixed program parses")
+}
+
 /// A chain graph as a tabular database `E[A, B]` for [`ta_tc_program`].
 pub fn ta_chain_db(len: usize) -> tabular_core::Database {
     let rows: Vec<[String; 2]> = (0..len)
@@ -226,5 +251,26 @@ mod tests {
         );
         assert_eq!(stats.while_fallback_naive, 0, "workload must be delta-safe");
         assert!(stats.while_delta_skipped > 0);
+    }
+
+    #[test]
+    fn fused_tc_workload_matches_unfused_and_runs_the_kernel() {
+        use tabular_algebra::{run_with_stats, EvalLimits, WhileStrategy};
+        let db = ta_chain_db(8);
+        for strategy in [WhileStrategy::Naive, WhileStrategy::Delta] {
+            let limits = EvalLimits {
+                while_strategy: strategy,
+                ..EvalLimits::default()
+            };
+            let (out_u, _) = run_with_stats(&ta_tc_program(), &db, &limits).unwrap();
+            let (out_f, stats) = run_with_stats(&ta_tc_fused_program(), &db, &limits).unwrap();
+            assert_eq!(
+                out_u.table_str("TC").unwrap(),
+                out_f.table_str("TC").unwrap()
+            );
+            assert!(stats.join_fused > 0, "the hash kernel must run");
+            assert_eq!(stats.join_unfused, 0, "the workload keys are fusable");
+            assert_eq!(stats.while_fallback_naive, 0, "workload must be delta-safe");
+        }
     }
 }

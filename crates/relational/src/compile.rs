@@ -442,6 +442,25 @@ mod tests {
             optimized.len(),
             compiled.len()
         );
+        // The loop body's σ_{Mid=Mid2}(TC' × E') compiles to a PRODUCT into
+        // single-use scratch followed by the SELECT, so the optimizer must
+        // rewrite the pair into the fused hash-join operator — and since
+        // that is the only product the compiler emits, none may survive.
+        fn count(stmts: &[tabular_algebra::Statement], pred: fn(&OpKind) -> bool) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    tabular_algebra::Statement::Assign(a) => usize::from(pred(&a.op)),
+                    tabular_algebra::Statement::While { body, .. } => count(body, pred),
+                })
+                .sum()
+        }
+        let fused = count(&optimized.statements, |op| {
+            matches!(op, OpKind::FusedJoin { .. })
+        });
+        let products = count(&optimized.statements, |op| matches!(op, OpKind::Product));
+        assert!(fused >= 1, "compiled TC's SELECT ∘ PRODUCT should fuse");
+        assert_eq!(products, 0, "no unfused PRODUCT should survive");
         let db = RelDatabase::from_relations([Relation::new(
             "E",
             &["From", "To"],

@@ -227,4 +227,69 @@ fn snapshots_allocate_nothing_and_copy_no_cell_buffers() {
         "the rejected product buffer must never reach the allocator \
          (allocated {bytes} bytes while armed)"
     );
+
+    // ------------------------------------------------------------------
+    // Guard 5: the fused join never materializes the intermediate
+    // product. The same two 1000-row operands joined on a key pair
+    // produce 1000 matching rows; unfused, SELECT-over-PRODUCT would
+    // stage a 1,000,000-row, ≈40 MB intermediate. Peak allocation while
+    // armed must stay O(|R| + |S| + |output|) — under 1 MB — and the
+    // run must *succeed* under the default cell limit the staged
+    // product would obliterate.
+    // ------------------------------------------------------------------
+    let key_rows: Vec<Vec<String>> = (0..1000)
+        .map(|i| vec![format!("a{i}"), format!("k{i}")])
+        .collect();
+    let key_rows: Vec<Vec<&str>> = key_rows
+        .iter()
+        .map(|r| r.iter().map(String::as_str).collect())
+        .collect();
+    let key_rows: Vec<&[&str]> = key_rows.iter().map(Vec::as_slice).collect();
+    let join_l = Table::relational("L", &["A", "B"], &key_rows);
+    let join_r = Table::relational("R", &["C", "D"], &key_rows);
+    let input = Database::from_tables([join_l, join_r]);
+    let program = parse("T <- FUSEDJOIN[B = D](L, R)").unwrap();
+    let limits = EvalLimits::default();
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    BYTES.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let out = run(&program, &input, &limits).unwrap();
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert_eq!(
+        out.table_str("T").unwrap().height(),
+        1000,
+        "the key columns pair up one-to-one"
+    );
+    let bytes = BYTES.load(Ordering::SeqCst);
+    assert!(
+        bytes < 1 << 20,
+        "fused join peak allocation must be O(|R| + |S| + |output|), \
+         not O(|R|·|S|) (allocated {bytes} bytes while armed)"
+    );
+
+    // ------------------------------------------------------------------
+    // Guard 6: renaming an attribute that does not occur, under the
+    // table's own name, is a pure handle clone — zero allocations and
+    // zero copy-on-write materializations.
+    // ------------------------------------------------------------------
+    let q = Table::relational("Q", &["A", "B"], &[&["1", "x"], &["2", "y"]]);
+    let (absent, to, q_name) = (Symbol::name("Z"), Symbol::name("Z2"), q.name());
+    let cow_before = stats::cow_copies();
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let renamed = tables_paradigm::algebra::ops::rename(&q, absent, to, q_name);
+    ARMED.store(false, Ordering::SeqCst);
+    assert_eq!(
+        ALLOCS.load(Ordering::SeqCst),
+        0,
+        "renaming an absent attribute in place must be allocation-free"
+    );
+    assert_eq!(
+        stats::cow_copies(),
+        cow_before,
+        "renaming an absent attribute in place must not copy the cell buffer"
+    );
+    assert!(renamed.shares_cells_with(&q));
 }

@@ -26,6 +26,7 @@ mod common;
 use proptest::prelude::*;
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use tables_paradigm::algebra::Statement;
 use tables_paradigm::core::interner;
 use tables_paradigm::prelude::*;
 
@@ -334,6 +335,148 @@ proptest! {
                         cfg.while_strategy, cfg.parallel_threshold, src
                     )));
                 }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The fusion oracle: join fusion on ≡ off
+// ----------------------------------------------------------------------
+
+/// A `SELECT[a = b]` over a `PRODUCT` staged through single-use
+/// reserved-namespace scratch — the exact shape `fuse_joins` rewrites
+/// into `FUSEDJOIN`. `n` keeps scratch names unique across splices.
+fn fusable_chain(n: usize, t: &str, x: &str, y: &str, a: &str, b: &str) -> Vec<Statement> {
+    use tables_paradigm::algebra::Assignment;
+    let scratch = Param::sym(Symbol::name(&format!("\u{1F}fo{n}")));
+    vec![
+        Statement::Assign(Assignment {
+            target: scratch.clone(),
+            op: OpKind::Product,
+            args: vec![Param::name(x), Param::name(y)],
+        }),
+        Statement::Assign(Assignment {
+            target: Param::name(t),
+            op: OpKind::Select {
+                a: Param::name(a),
+                b: Param::name(b),
+            },
+            args: vec![scratch],
+        }),
+    ]
+}
+
+/// Drop reserved-namespace scratch tables: the unfused program
+/// materializes its staged products there, the fused one never creates
+/// them, so only the visible tables are comparable.
+fn visible(db: &Database) -> Database {
+    Database::from_tables(
+        db.tables()
+            .iter()
+            .filter(|t| !is_fresh(t.name()))
+            .cloned()
+            .collect::<Vec<_>>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The fusion oracle: applying the optimizer's join-fusion rewrite
+    /// must not change any visible output under any strategy or shard
+    /// configuration. Random programs get SELECT-over-scratch-PRODUCT
+    /// chains spliced into the prologue (always executed) and the loop
+    /// body (delta-incremental path); whether each chain's attributes
+    /// make the hash kernel applicable or force the definitional
+    /// fallback varies with the drawn operands — both must agree with
+    /// the unfused program. The comparison is asymmetric on resource
+    /// trips by design: fusion never materializes the staged product,
+    /// so a fused run may succeed where the unfused baseline exhausts
+    /// `max_cells`/`max_tables` — that asymmetry is the optimization.
+    #[test]
+    fn fusion_on_and_off_agree(
+        src in arb_program(),
+        db in arb_input(),
+        (t1, x1, y1) in (0usize..5, 0usize..6, 0usize..6),
+        (a1, b1) in (0usize..4, 0usize..4),
+        (t2, x2, y2) in (0usize..5, 0usize..6, 0usize..6),
+        (a2, b2) in (0usize..4, 0usize..4),
+    ) {
+        use tables_paradigm::algebra::optimize::fuse_joins;
+
+        let mut program = parse(&src).unwrap_or_else(|e| {
+            panic!("generated program must parse: {e}\n{src}")
+        });
+        let head = fusable_chain(0, TARGETS[t1], SOURCES[x1], SOURCES[y1], ATTRS[a1], ATTRS[b1]);
+        program.statements.splice(0..0, head);
+        if let Some(Statement::While { body, .. }) = program
+            .statements
+            .iter_mut()
+            .find(|s| matches!(s, Statement::While { .. }))
+        {
+            let inner =
+                fusable_chain(1, TARGETS[t2], SOURCES[x2], SOURCES[y2], ATTRS[a2], ATTRS[b2]);
+            body.splice(0..0, inner);
+        }
+        let fused = fuse_joins(&program);
+        fn count_fused(stmts: &[Statement]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Statement::Assign(a) => {
+                        usize::from(matches!(a.op, OpKind::FusedJoin { .. }))
+                    }
+                    Statement::While { body, .. } => count_fused(body),
+                })
+                .sum()
+        }
+        prop_assert!(count_fused(&fused.statements) >= 1, "spliced chains must fuse");
+
+        let configs = [
+            limits(WhileStrategy::Naive, usize::MAX),
+            limits(WhileStrategy::Naive, 1),
+            limits(WhileStrategy::Delta, usize::MAX),
+            limits(WhileStrategy::Delta, 1),
+        ];
+        let baseline = run_traced(&program, &db, &configs[0]);
+        let Ok((base_out, _, _)) = &baseline else {
+            // Unfused baseline tripped a resource limit; fused runs may
+            // legitimately proceed further, so there is nothing to pin.
+            return Ok(());
+        };
+        let expect = canonicalize_fresh(&visible(base_out));
+        for cfg in &configs {
+            let (got, stats, _) = run_traced(&fused, &db, cfg).unwrap_or_else(|e| {
+                panic!(
+                    "fused run failed where unfused baseline succeeded \
+                     under {:?}/threshold {}: {e}\nprogram:\n{src}",
+                    cfg.while_strategy, cfg.parallel_threshold
+                )
+            });
+            prop_assert!(
+                expect == canonicalize_fresh(&visible(&got)),
+                "fused output diverges under {:?}/threshold {}\nprogram:\n{}",
+                cfg.while_strategy, cfg.parallel_threshold, src
+            );
+            // The prologue chain always executes, so every fused run
+            // decides the kernel-vs-fallback question at least once.
+            prop_assert!(
+                stats.join_fused + stats.join_unfused >= 1,
+                "fused run recorded no fusion decision under {:?}/threshold {}",
+                cfg.while_strategy, cfg.parallel_threshold
+            );
+        }
+        // And the unfused program itself still agrees across strategies
+        // on the spliced shape (the pre-existing oracle covers generated
+        // programs; this covers the scratch-staged chains).
+        for cfg in &configs[1..] {
+            if let Ok((got, _, _)) = run_traced(&program, &db, cfg) {
+                prop_assert!(
+                    expect == canonicalize_fresh(&visible(&got)),
+                    "unfused output diverges under {:?}/threshold {}\nprogram:\n{}",
+                    cfg.while_strategy, cfg.parallel_threshold, src
+                );
             }
         }
     }

@@ -379,6 +379,67 @@ proptest! {
         prop_assert!(algebraic.equiv(&direct), "algebraic:\n{algebraic}\ndirect:\n{direct}");
     }
 
+    // ------------------------------------------------------------------
+    // Join fusion (optimizer): FUSEDJOIN ≡ SELECT ∘ PRODUCT
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fused_join_op_equals_select_over_product(
+        mut r in arb_table(),
+        mut s in arb_table(),
+        a in arb_symbol(),
+        b in arb_symbol(),
+    ) {
+        // The fused operator is *defined* as SELECT[a=b](PRODUCT(R, S)):
+        // whether the hash kernel applies or evaluation falls back to the
+        // materialized product, the results must be identical — on messy
+        // tables too (repeated attributes, ⊥-heavy rows, data in
+        // attribute positions, attributes absent from either operand).
+        r.set_name(Symbol::name("R"));
+        s.set_name(Symbol::name("S"));
+        let db = Database::from_tables([r, s]);
+        let select = OpKind::Select { a: Param::sym(a), b: Param::sym(b) };
+        let fused = Program::new().assign(
+            Param::name("T"),
+            OpKind::FusedJoin { a: Param::sym(a), b: Param::sym(b) },
+            vec![Param::name("R"), Param::name("S")],
+        );
+        let pipeline = Program::new()
+            .assign(
+                Param::name("P"),
+                OpKind::Product,
+                vec![Param::name("R"), Param::name("S")],
+            )
+            .assign(Param::name("T"), select, vec![Param::name("P")]);
+        let f = run(&fused, &db, &EvalLimits::default()).expect("fused run");
+        let p = run(&pipeline, &db, &EvalLimits::default()).expect("pipeline run");
+        prop_assert_eq!(
+            f.table(Symbol::name("T")).expect("fused output"),
+            p.table(Symbol::name("T")).expect("pipeline output")
+        );
+    }
+
+    #[test]
+    fn fused_join_kernel_matches_pipeline_on_forced_keys(
+        mut r in arb_table(),
+        mut s in arb_table(),
+    ) {
+        // Overwrite one column attribute per operand with keys outside the
+        // generator pool, so fusability is guaranteed and it is the hash
+        // kernel — not the definitional fallback — being compared against
+        // the unfused pipeline, including on ⊥-heavy key columns.
+        let (ka, kb) = (Symbol::name("JoinA"), Symbol::name("JoinB"));
+        r.set(0, 1, ka);
+        s.set(0, 1, kb);
+        let cols = ops::fusable_join_cols(&r, &s, ka, kb).expect("unique opposite keys");
+        prop_assert_eq!(cols.left, 1);
+        prop_assert_eq!(cols.right, 1);
+        let name = Symbol::name("T");
+        let fused = ops::join(&r, &s, cols, name);
+        let pipeline = ops::select(&ops::product(&r, &s, name), ka, kb, name);
+        prop_assert_eq!(fused, pipeline);
+    }
+
     #[test]
     fn pivot_unpivot_round_trip(t in arb_fact_table()) {
         prop_assume!(t.height() > 0);
