@@ -42,11 +42,11 @@ use crate::eval::{
 use crate::obs::metrics::Metrics;
 use crate::obs::trace::{DeltaDecision, SpanKind};
 use crate::ops;
-use crate::param::{Item, Param};
+
 use crate::pool::LazyPool;
 use crate::program::{Assignment, OpKind, Statement};
 use std::collections::{HashMap, HashSet};
-use tabular_core::{Database, Symbol, SymbolSet, Table};
+use tabular_core::{Database, Symbol, Table};
 
 /// How a committed assignment changed its target's table group.
 enum Change {
@@ -442,14 +442,6 @@ fn classify_change(old: &[&Table], new: &[Table]) -> Change {
     Change::Replaced
 }
 
-/// True when every item of the parameter denotes independently of the
-/// table under consideration: literal symbols and ⊥ only (no wildcards
-/// expanding to "all column attributes", no entry-addressing pairs).
-fn rigid(p: &Param) -> bool {
-    let literal = |i: &Item| matches!(i, Item::Sym(_) | Item::Null);
-    p.positive.iter().all(literal) && p.negative.iter().all(literal)
-}
-
 /// True when `t` is in the shape where classical union degenerates to
 /// exact row-set union: pairwise-distinct column attributes, ⊥ row
 /// attributes, and no ⊥ data entries. Under these conditions the join
@@ -462,21 +454,6 @@ fn plain_relational(t: &Table) -> bool {
             let row = t.storage_row(i);
             row[0].is_null() && row[1..].iter().all(|c| !c.is_null())
         })
-}
-
-/// Denote a rigid set parameter without table context.
-fn rigid_set(p: &Param) -> SymbolSet {
-    let expand = |items: &[Item]| -> SymbolSet {
-        items
-            .iter()
-            .map(|i| match i {
-                Item::Sym(s) => *s,
-                Item::Null => Symbol::Null,
-                _ => unreachable!("rigid parameters hold literals only"),
-            })
-            .collect()
-    };
-    expand(&p.positive).minus(&expand(&p.negative))
 }
 
 /// How to extend the cached output (see [`plan_incremental`]). Operand
@@ -594,7 +571,7 @@ fn plan_incremental(
                 new_rows,
             )
         }
-        OpKind::FusedJoin { a: pa, b: pb } if rigid(pa) && rigid(pb) => {
+        OpKind::FusedJoin { a: pa, b: pb } if pa.is_rigid() && pb.is_rigid() => {
             // Mirror of the Product arm: grown left operand, unchanged
             // right operand (appended right rows would interleave with the
             // left-major output order). The fusion columns are re-resolved
@@ -627,7 +604,7 @@ fn plan_incremental(
                 new_rows,
             )
         }
-        OpKind::Rename { from, to } if rigid(from) && rigid(to) => {
+        OpKind::Rename { from, to } if from.is_rigid() && to.is_rigid() => {
             from.as_ground()?;
             to.as_ground()?;
             let r = single(reads[0])?;
@@ -683,7 +660,7 @@ fn plan_incremental(
             let new_rows = rows.len();
             (IncPlan::Rows(rows), new_rows)
         }
-        OpKind::Select { a: pa, b: pb } if rigid(pa) && rigid(pb) => {
+        OpKind::Select { a: pa, b: pb } if pa.is_rigid() && pb.is_rigid() => {
             let sa = pa.as_ground()?;
             let sb = pb.as_ground()?;
             let r = single(reads[0])?;
@@ -702,7 +679,7 @@ fn plan_incremental(
             let new_rows = rows.len();
             (IncPlan::Rows(rows), new_rows)
         }
-        OpKind::SelectConst { a: pa, v: pv } if rigid(pa) && rigid(pv) => {
+        OpKind::SelectConst { a: pa, v: pv } if pa.is_rigid() && pv.is_rigid() => {
             let sa = pa.as_ground()?;
             let sv = pv.as_ground()?;
             let r = single(reads[0])?;
@@ -719,9 +696,9 @@ fn plan_incremental(
             let new_rows = rows.len();
             (IncPlan::Rows(rows), new_rows)
         }
-        OpKind::Project { attrs } if rigid(attrs) => {
+        OpKind::Project { attrs } if attrs.is_rigid() => {
             let r = single(reads[0])?;
-            let cols = r.cols_in(&rigid_set(attrs));
+            let cols = r.cols_in(&attrs.rigid_set());
             if out_width != cols.len() {
                 return None;
             }

@@ -131,6 +131,14 @@ pub struct EvalStats {
     /// `FUSEDJOIN` argument pairs that failed the fusion applicability
     /// check and ran the unfused product-then-select pipeline.
     pub join_unfused: usize,
+    /// `FUSEDRESTRUCTURE` argument tables evaluated by the single-pass
+    /// restructuring kernel (naive and delta executions both count; delta
+    /// skips do not, mirroring `op_counts`).
+    pub restructure_fused: usize,
+    /// `FUSEDRESTRUCTURE` argument tables that failed the fusion
+    /// applicability check and ran the staged
+    /// `GROUP → CLEAN-UP (→ PURGE)` pipeline.
+    pub restructure_unfused: usize,
     /// Per-iteration dirty-set sizes (number of names whose contents
     /// changed during the iteration) across all delta-evaluated loops, in
     /// execution order.
@@ -379,6 +387,23 @@ pub(crate) fn table_cells(t: &Table) -> usize {
     (t.height() + 1) * (t.width() + 1)
 }
 
+/// Restructure-fusion outcomes tallied away from the metrics registry:
+/// `apply_unary` runs inside shard-pool jobs without `Metrics` access, so
+/// each job accumulates locally and the evaluating thread merges the
+/// counts (and notes the span's fusion decision) after the scoped join.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct FusionCounts {
+    pub(crate) restructure_fused: usize,
+    pub(crate) restructure_unfused: usize,
+}
+
+impl FusionCounts {
+    fn absorb(&mut self, other: FusionCounts) {
+        self.restructure_fused += other.restructure_fused;
+        self.restructure_unfused += other.restructure_unfused;
+    }
+}
+
 /// Evaluate an assignment against the (pre-statement) database, returning
 /// the produced tables without committing them. Annotates the open span
 /// (if any) with the matched-combination count and input cells, and
@@ -405,6 +430,7 @@ pub(crate) fn compute_results(
     let mut results: Vec<Table> = Vec::new();
     let mut combos = 0usize;
     let mut input_cells = 0usize;
+    let mut fusion = FusionCounts::default();
 
     match &a.op {
         // COLLAPSE consumes every matching table of one name collectively.
@@ -447,7 +473,9 @@ pub(crate) fn compute_results(
                 let shards = pool.get().threads().min(work.len());
                 let chunk = work.len().div_ceil(shards);
                 let chunks: Vec<&[(&Table, Bindings, Symbol)]> = work.chunks(chunk).collect();
-                let mut slots: Vec<Option<(Result<Vec<Table>>, u128)>> = vec![None; chunks.len()];
+                // Per-shard result slot: (tables, fusion counters, wall ns).
+                type ShardSlot = Option<(Result<Vec<Table>>, FusionCounts, u128)>;
+                let mut slots: Vec<ShardSlot> = vec![None; chunks.len()];
                 let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
                     .iter()
                     .zip(slots.iter_mut())
@@ -457,30 +485,48 @@ pub(crate) fn compute_results(
                         Box::new(move || {
                             let start = Instant::now();
                             let mut local = Vec::new();
+                            let mut counts = FusionCounts::default();
                             let out = slice
                                 .iter()
                                 .try_for_each(|(t, bindings, target)| {
                                     // Poll between tables so a sharded
                                     // statement stops mid-fan-out.
                                     cx.gov.poll()?;
-                                    apply_unary(op, t, *target, bindings, limits, &mut local)
+                                    apply_unary(
+                                        op,
+                                        t,
+                                        *target,
+                                        bindings,
+                                        limits,
+                                        &mut local,
+                                        &mut counts,
+                                    )
                                 })
                                 .map(|()| local);
-                            *slot = Some((out, start.elapsed().as_micros()));
+                            *slot = Some((out, counts, start.elapsed().as_micros()));
                         }) as Box<dyn FnOnce() + Send + '_>
                     })
                     .collect();
                 pool.get().scoped(jobs);
                 metrics.stats.shard_jobs += chunks.len();
                 for (shard, (slot, slice)) in slots.into_iter().zip(&chunks).enumerate() {
-                    let (out, micros) = slot.expect("every shard reports a result");
+                    let (out, counts, micros) = slot.expect("every shard reports a result");
+                    fusion.absorb(counts);
                     metrics.shard_span(shard, slice.len(), micros);
                     results.extend(out?);
                 }
             } else {
                 for (t, bindings, target) in &work {
                     cx.gov.poll()?;
-                    apply_unary(&a.op, t, *target, bindings, limits, &mut results)?;
+                    apply_unary(
+                        &a.op,
+                        t,
+                        *target,
+                        bindings,
+                        limits,
+                        &mut results,
+                        &mut fusion,
+                    )?;
                 }
             }
         }
@@ -516,6 +562,14 @@ pub(crate) fn compute_results(
         }
     }
 
+    if fusion.restructure_fused > 0 {
+        metrics.stats.restructure_fused += fusion.restructure_fused;
+        metrics.note_fusion("fused-restructure");
+    }
+    if fusion.restructure_unfused > 0 {
+        metrics.stats.restructure_unfused += fusion.restructure_unfused;
+        metrics.note_fusion("fallback-unfused");
+    }
     metrics.note_matched(combos, input_cells);
     Ok(results)
 }
@@ -575,6 +629,94 @@ fn eval_fused_join(
     let a = denote_single(pa, &prod, bindings, "FUSEDJOIN left")?;
     let b = denote_single(pb, &prod, bindings, "FUSEDJOIN right")?;
     Ok(ops::select(&prod, a, b, target))
+}
+
+/// Pre-size the grouped intermediate a `FUSEDRESTRUCTURE` fallback is
+/// about to materialize — `GROUP` output is `(m + headers + 1) ×
+/// (|𝒞| + m·|ℬ| + 1)` cells, known before any allocation — so a blown
+/// `max_cells` fails exactly as the staged `GROUP` statement would,
+/// without the buffer ever reaching the allocator.
+fn presize_group(
+    t: &Table,
+    group_by: &SymbolSet,
+    group_on: &SymbolSet,
+    limits: &EvalLimits,
+) -> Result<()> {
+    let cells = ops::grouped_cells(t, group_by, group_on);
+    if cells > limits.max_cells {
+        return Err(AlgebraError::LimitExceeded {
+            what: "cells per table",
+            limit: limits.max_cells,
+            attempted: cells,
+        });
+    }
+    Ok(())
+}
+
+/// Evaluate one `FUSEDRESTRUCTURE` argument table. The operation is
+/// *defined* as the staged `GROUP → CLEAN-UP (→ PURGE)` pipeline; when
+/// the clean-up and purge parameters are rigid (table-independent — the
+/// intermediate they would denote against is never built) the single-pass
+/// kernel is attempted, and whenever it applies it produces the identical
+/// table without the grouped intermediate — so the governor's cell charge
+/// (in [`check_results`]) reflects the actual fused output, and only the
+/// fallback needs the [`presize_group`] guard.
+fn eval_fused_restructure(
+    op: &OpKind,
+    t: &Table,
+    target: Symbol,
+    bindings: &Bindings,
+    limits: &EvalLimits,
+    fusion: &mut FusionCounts,
+) -> Result<Table> {
+    let OpKind::FusedRestructure(chain) = op else {
+        unreachable!("fused-restructure dispatch");
+    };
+    let crate::program::RestructureChain {
+        group_by,
+        group_on,
+        cleanup_by,
+        cleanup_on,
+        purge,
+    } = chain.as_ref();
+    // The GROUP parameters denote against the input either way; rigidity
+    // is only required of the stages whose table is never materialized.
+    let g_by = denote_set(group_by, t, bindings);
+    let g_on = denote_set(group_on, t, bindings);
+    let rigid = cleanup_by.is_rigid()
+        && cleanup_on.is_rigid()
+        && purge
+            .as_ref()
+            .is_none_or(|(on, by)| on.is_rigid() && by.is_rigid());
+    if rigid {
+        let spec = ops::RestructureSpec {
+            group_by: g_by.clone(),
+            group_on: g_on.clone(),
+            cleanup_by: cleanup_by.rigid_set(),
+            cleanup_on: cleanup_on.rigid_set(),
+            purge: purge
+                .as_ref()
+                .map(|(on, by)| (on.rigid_set(), by.rigid_set())),
+        };
+        if let Some(out) = ops::fused_restructure(t, &spec, target) {
+            fusion.restructure_fused += 1;
+            return Ok(out);
+        }
+    }
+    fusion.restructure_unfused += 1;
+    presize_group(t, &g_by, &g_on, limits)?;
+    let grouped = ops::group(t, &g_by, &g_on, target);
+    let c_by = denote_set(cleanup_by, &grouped, bindings);
+    let c_on = denote_set(cleanup_on, &grouped, bindings);
+    let cleaned = ops::cleanup(&grouped, &c_by, &c_on, target);
+    match purge {
+        Some((on, by)) => {
+            let p_on = denote_set(on, &cleaned, bindings);
+            let p_by = denote_set(by, &cleaned, bindings);
+            Ok(ops::purge(&cleaned, &p_on, &p_by, target))
+        }
+        None => Ok(cleaned),
+    }
 }
 
 /// Record shape statistics for produced tables, enforce the per-table
@@ -649,6 +791,7 @@ pub(crate) fn check_table_count(db: &Database, limits: &EvalLimits) -> Result<()
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_unary(
     op: &OpKind,
     t: &Table,
@@ -656,6 +799,7 @@ fn apply_unary(
     bindings: &Bindings,
     limits: &EvalLimits,
     results: &mut Vec<Table>,
+    fusion: &mut FusionCounts,
 ) -> Result<()> {
     match op {
         OpKind::Rename { from, to } => {
@@ -713,6 +857,11 @@ fn apply_unary(
         OpKind::SetNew { attr } => {
             let attr = denote_single(attr, t, bindings, "SETNEW attribute")?;
             results.push(ops::set_new(t, attr, target, limits.max_setnew_rows)?);
+        }
+        OpKind::FusedRestructure { .. } => {
+            results.push(eval_fused_restructure(
+                op, t, target, bindings, limits, fusion,
+            )?);
         }
         OpKind::Copy => results.push(ops::copy(t, target)),
         OpKind::Union

@@ -62,4 +62,4 @@ pub use governor::{Budget, CancelToken, PartialRun};
 pub use obs::{DeltaDecision, Span, SpanKind, Trace, TraceLevel};
 pub use optimize::optimize;
 pub use param::Param;
-pub use program::{Assignment, OpKind, Program, Statement};
+pub use program::{Assignment, OpKind, Program, RestructureChain, Statement};

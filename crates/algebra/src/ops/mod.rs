@@ -10,6 +10,7 @@
 //! | §3.4       | clean-up, purge, classical union                  | [`redundancy`] |
 //! | §3.5       | tuple-new, set-new                                | [`tagging`] |
 //! | §5 (opt.)  | fused hash join (SELECT ∘ PRODUCT)                | [`join`] |
+//! | §4.3 (opt.)| fused restructuring (PURGE ∘ CLEAN-UP ∘ GROUP)    | [`restructure_fused`] |
 //!
 //! The program layer (parameters, assignment statements, `while`) that
 //! drives these over whole databases lives in
@@ -19,6 +20,7 @@ pub mod dual;
 pub mod join;
 pub mod redundancy;
 pub mod restructure;
+pub mod restructure_fused;
 pub mod tagging;
 pub mod traditional;
 pub mod transpose;
@@ -29,6 +31,7 @@ pub use dual::{
 pub use join::{count_join_matches, fusable_join_cols, join, join_append, JoinCols};
 pub use redundancy::{classical_union, cleanup, purge};
 pub use restructure::{collapse, group, merge, split};
+pub use restructure_fused::{fused_restructure, grouped_cells, RestructureSpec};
 pub use tagging::{set_new, tuple_new};
 pub use traditional::{
     copy, difference, intersect, product, product_append, project, rename, select, select_const,

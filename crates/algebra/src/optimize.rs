@@ -19,7 +19,7 @@
 //! programs are fully ground, which is exactly where the passes pay off.
 
 use crate::param::Param;
-use crate::program::{Assignment, OpKind, Program, Statement};
+use crate::program::{Assignment, OpKind, Program, RestructureChain, Statement};
 use tabular_core::{interner, Symbol, SymbolSet};
 
 /// True if the symbol lives in the reserved scratch namespace.
@@ -276,10 +276,146 @@ fn fuse_joins_in(stmts: &mut Vec<Statement>) {
     }
 }
 
-/// The full pipeline: copy forwarding, join fusion, then dead-code
-/// elimination.
+/// Fuse `s₁ ← GROUP[...](R); s₂ ← CLEANUP[...](s₁); T ← PURGE[...](s₂)`
+/// — and the 2-op prefix `s ← GROUP[...](R); T ← CLEANUP[...](s)` — into
+/// `T ← FUSEDRESTRUCTURE[...](R)` when each scratch intermediate is
+/// produced immediately before its single read and the clean-up/purge
+/// parameters are rigid ([`Param::is_rigid`] — their denotation cannot
+/// depend on the intermediate tables that no longer exist; the `GROUP`
+/// parameters denote against `R` either way and may stay arbitrary).
+/// Straight-line segments only, like [`forward_copies`].
+///
+/// The rewrite is unconditionally sound: `FUSEDRESTRUCTURE` is *defined*
+/// as the staged pipeline, and the evaluator decides per argument table
+/// whether the single-pass kernel applies
+/// ([`crate::ops::fused_restructure`]) or the staged fallback must run.
+pub fn fuse_restructure(program: &Program) -> Program {
+    let mut live = SymbolSet::new();
+    if read_set(&program.statements, &mut live).is_none() {
+        return program.clone();
+    }
+    let mut out = program.clone();
+    fuse_restructure_in(&mut out.statements);
+    out
+}
+
+fn fuse_restructure_in(stmts: &mut Vec<Statement>) {
+    fn count_reads(stmts: &[Statement], of: Symbol) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Statement::Assign(a) => a.args.iter().filter(|p| p.as_ground() == Some(of)).count(),
+                Statement::While { cond, body } => {
+                    usize::from(cond.as_ground() == Some(of)) + count_reads(body, of)
+                }
+            })
+            .sum()
+    }
+
+    /// Does `consumer`'s single argument read exactly `producer`'s target,
+    /// with that target a scratch name read nowhere else in the segment?
+    fn pipes_scratch(stmts: &[Statement], producer: &Assignment, consumer: &Assignment) -> bool {
+        let Some(s) = producer.target.as_ground() else {
+            return false;
+        };
+        let [arg] = consumer.args.as_slice() else {
+            return false;
+        };
+        arg.as_ground() == Some(s) && is_scratch(s) && count_reads(stmts, s) == 1
+    }
+
+    /// The 2-op fusion of `stmts[i-1]; stmts[i]`, if they form a
+    /// `GROUP → CLEANUP` chain over a single-read scratch.
+    fn prefix(stmts: &[Statement], i: usize) -> Option<Assignment> {
+        let (Statement::Assign(g), Statement::Assign(c)) = (&stmts[i - 1], &stmts[i]) else {
+            return None;
+        };
+        let OpKind::Group {
+            by: group_by,
+            on: group_on,
+        } = &g.op
+        else {
+            return None;
+        };
+        let OpKind::CleanUp {
+            by: cleanup_by,
+            on: cleanup_on,
+        } = &c.op
+        else {
+            return None;
+        };
+        if !cleanup_by.is_rigid() || !cleanup_on.is_rigid() || !pipes_scratch(stmts, g, c) {
+            return None;
+        }
+        Some(Assignment {
+            target: c.target.clone(),
+            op: OpKind::FusedRestructure(Box::new(RestructureChain {
+                group_by: group_by.clone(),
+                group_on: group_on.clone(),
+                cleanup_by: cleanup_by.clone(),
+                cleanup_on: cleanup_on.clone(),
+                purge: None,
+            })),
+            args: g.args.clone(),
+        })
+    }
+
+    /// Extend a 2-op fusion at `i` to the 3-op chain, if `stmts[i+1]` is a
+    /// `PURGE` consuming the clean-up's single-read scratch result.
+    fn extend(stmts: &[Statement], i: usize, two: &Assignment) -> Option<Assignment> {
+        let (Statement::Assign(c), Statement::Assign(pu)) = (&stmts[i], stmts.get(i + 1)?) else {
+            return None;
+        };
+        let OpKind::Purge { on, by } = &pu.op else {
+            return None;
+        };
+        if !on.is_rigid() || !by.is_rigid() || !pipes_scratch(stmts, c, pu) {
+            return None;
+        }
+        let OpKind::FusedRestructure(chain) = two.op.clone() else {
+            unreachable!("prefix builds a FusedRestructure");
+        };
+        Some(Assignment {
+            target: pu.target.clone(),
+            op: OpKind::FusedRestructure(Box::new(RestructureChain {
+                purge: Some((on.clone(), by.clone())),
+                ..*chain
+            })),
+            args: two.args.clone(),
+        })
+    }
+
+    let mut i = 1;
+    while i < stmts.len() {
+        let Some(two) = prefix(stmts, i) else {
+            match &mut stmts[i] {
+                Statement::While { body, .. } => fuse_restructure_in(body),
+                Statement::Assign(_) => {}
+            }
+            i += 1;
+            continue;
+        };
+        match extend(stmts, i, &two) {
+            Some(three) => {
+                stmts[i - 1] = Statement::Assign(three);
+                stmts.remove(i);
+                stmts.remove(i);
+            }
+            None => {
+                stmts[i - 1] = Statement::Assign(two);
+                stmts.remove(i);
+            }
+        }
+    }
+    if let Some(Statement::While { body, .. }) = stmts.first_mut() {
+        fuse_restructure_in(body);
+    }
+}
+
+/// The full pipeline: copy forwarding, join fusion, restructuring fusion,
+/// then dead-code elimination.
 pub fn optimize(program: &Program) -> Program {
-    eliminate_dead(&fuse_joins(&forward_copies(program)))
+    eliminate_dead(&fuse_restructure(&fuse_joins(&forward_copies(program))))
 }
 
 #[cfg(test)]
@@ -506,6 +642,127 @@ mod tests {
                 vec![Param::sym(scratch(1))],
             );
         assert_eq!(fuse_joins(&p).len(), 2);
+    }
+
+    /// The paper's pivot chain over single-read scratches, builder-style.
+    fn pivot_chain() -> Program {
+        Program::new()
+            .assign(
+                Param::sym(scratch(1)),
+                OpKind::Group {
+                    by: Param::name("Region"),
+                    on: Param::name("Sold"),
+                },
+                vec![Param::name("R")],
+            )
+            .assign(
+                Param::sym(scratch(2)),
+                OpKind::CleanUp {
+                    by: Param::name("Part"),
+                    on: Param::null(),
+                },
+                vec![Param::sym(scratch(1))],
+            )
+            .assign(
+                Param::name("Out"),
+                OpKind::Purge {
+                    on: Param::name("Sold"),
+                    by: Param::name("Region"),
+                },
+                vec![Param::sym(scratch(2))],
+            )
+    }
+
+    #[test]
+    fn pivot_chain_fuses_into_a_restructure() {
+        let p = pivot_chain();
+        let opt = optimize(&p);
+        assert_eq!(opt.len(), 1);
+        let Statement::Assign(a) = &opt.statements[0] else {
+            panic!("assignment expected");
+        };
+        assert_eq!(a.target, Param::name("Out"));
+        assert!(
+            matches!(&a.op, OpKind::FusedRestructure(chain) if chain.purge.is_some()),
+            "{:?}",
+            a.op
+        );
+        assert_eq!(a.args, vec![Param::name("R")]);
+
+        let db = Database::from_tables([fixtures::sales_relation()]);
+        let a = run(&p, &db, &EvalLimits::default()).unwrap();
+        let b = run(&opt, &db, &EvalLimits::default()).unwrap();
+        assert!(compare_visible(&a, &b));
+    }
+
+    #[test]
+    fn group_cleanup_prefix_fuses_without_a_purge() {
+        let mut p = pivot_chain();
+        p.statements.truncate(2);
+        // Retarget the clean-up to a visible name so the chain ends there.
+        let Statement::Assign(c) = &mut p.statements[1] else {
+            panic!("assignment expected");
+        };
+        c.target = Param::name("Out");
+        let opt = optimize(&p);
+        assert_eq!(opt.len(), 1);
+        let Statement::Assign(a) = &opt.statements[0] else {
+            panic!("assignment expected");
+        };
+        assert!(matches!(
+            &a.op,
+            OpKind::FusedRestructure(chain) if chain.purge.is_none()
+        ));
+
+        let db = Database::from_tables([fixtures::sales_relation()]);
+        let a = run(&p, &db, &EvalLimits::default()).unwrap();
+        let b = run(&opt, &db, &EvalLimits::default()).unwrap();
+        assert!(compare_visible(&a, &b));
+    }
+
+    #[test]
+    fn restructure_fusion_respects_multiple_readers_and_visible_targets() {
+        // The grouped scratch is read twice: fusing would lose it.
+        let mut multi = pivot_chain();
+        multi = multi.assign(
+            Param::name("Again"),
+            OpKind::Copy,
+            vec![Param::sym(scratch(1))],
+        );
+        assert_eq!(fuse_restructure(&multi).len(), 4);
+
+        // A visible intermediate is observable output: never fused away.
+        let visible = crate::parser::parse(
+            "G <- GROUP[by {Region} on {Sold}](R)
+             C <- CLEANUP[by {Part} on {_}](G)
+             Out <- PURGE[on {Sold} by {Region}](C)",
+        )
+        .unwrap();
+        assert_eq!(fuse_restructure(&visible).len(), 3);
+    }
+
+    #[test]
+    fn restructure_fusion_requires_rigid_merge_parameters() {
+        // `CLEANUP by *` denotes "all column attributes *of the grouped
+        // intermediate*" — the rewrite would change what it expands to.
+        let mut p = pivot_chain();
+        let Statement::Assign(c) = &mut p.statements[1] else {
+            panic!("assignment expected");
+        };
+        c.op = OpKind::CleanUp {
+            by: Param::star(),
+            on: Param::null(),
+        };
+        assert_eq!(fuse_restructure(&p).len(), 3);
+    }
+
+    #[test]
+    fn restructure_fusion_reaches_into_while_bodies() {
+        let p = Program::new()
+            .assign(Param::name("W"), OpKind::Copy, vec![Param::name("R")])
+            .while_nonempty(Param::name("W"), pivot_chain());
+        let opt = fuse_restructure(&p);
+        assert_eq!(opt.len(), 3, "{opt:?}");
     }
 
     /// Compare databases on their user-visible (non-scratch) tables.

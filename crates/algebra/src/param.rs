@@ -123,6 +123,34 @@ impl Param {
         self
     }
 
+    /// True if every item is a literal symbol or ⊥ — the parameter then
+    /// denotes the same set against *any* table, with *any* bindings
+    /// (no wildcards to bind, no pairs to read data through). Rigid
+    /// parameters are what the delta engine's literal-set plans and the
+    /// restructuring fuser may lift out of their original table context.
+    pub fn is_rigid(&self) -> bool {
+        let literal = |i: &Item| matches!(i, Item::Sym(_) | Item::Null);
+        self.positive.iter().all(literal) && self.negative.iter().all(literal)
+    }
+
+    /// The table-independent denotation of a rigid parameter (positive
+    /// literals minus negative literals). Items that are not literals are
+    /// ignored; guard with [`Param::is_rigid`] first.
+    pub fn rigid_set(&self) -> SymbolSet {
+        let expand = |items: &[Item]| {
+            let mut set = SymbolSet::new();
+            for item in items {
+                match item {
+                    Item::Null => set.insert(Symbol::Null),
+                    Item::Sym(s) => set.insert(*s),
+                    _ => {}
+                }
+            }
+            set
+        };
+        expand(&self.positive).minus(&expand(&self.negative))
+    }
+
     /// True if the parameter is a single ground symbol (no stars, no
     /// pairs, no negatives) — the common case for targets and literals.
     pub fn as_ground(&self) -> Option<Symbol> {

@@ -24,7 +24,7 @@
 
 use crate::error::{AlgebraError, Result};
 use crate::param::{Item, Param};
-use crate::program::{Assignment, OpKind, Program, Statement};
+use crate::program::{Assignment, OpKind, Program, RestructureChain, Statement};
 use tabular_core::Symbol;
 
 // ----------------------------------------------------------------------
@@ -389,6 +389,37 @@ impl Parser {
                 self.expect(&Tok::RBracket, "`]`")?;
                 OpKind::Purge { on, by }
             }
+            "FUSEDRESTRUCTURE" => {
+                self.expect(&Tok::LBracket, "`[`")?;
+                self.keyword("group")?;
+                self.keyword("by")?;
+                let group_by = self.parse_param()?;
+                self.keyword("on")?;
+                let group_on = self.parse_param()?;
+                self.keyword("cleanup")?;
+                self.keyword("by")?;
+                let cleanup_by = self.parse_param()?;
+                self.keyword("on")?;
+                let cleanup_on = self.parse_param()?;
+                let purge = if self.peek_keyword("purge") {
+                    self.keyword("purge")?;
+                    self.keyword("on")?;
+                    let on = self.parse_param()?;
+                    self.keyword("by")?;
+                    let by = self.parse_param()?;
+                    Some((on, by))
+                } else {
+                    None
+                };
+                self.expect(&Tok::RBracket, "`]`")?;
+                OpKind::FusedRestructure(Box::new(RestructureChain {
+                    group_by,
+                    group_on,
+                    cleanup_by,
+                    cleanup_on,
+                    purge,
+                }))
+            }
             "TUPLENEW" => {
                 self.expect(&Tok::LBracket, "`[`")?;
                 let attr = self.parse_param()?;
@@ -550,12 +581,30 @@ mod tests {
             T <- SWITCH[v:east](R)
             T <- CLEANUP[by {Part} on {_}](R)
             T <- PURGE[on {Sold} by {Region}](R)
+            T <- FUSEDRESTRUCTURE[group by {Region} on {Sold} cleanup by {Part} on {_} purge on {Sold} by {Region}](R)
+            T <- FUSEDRESTRUCTURE[group by {Region} on {Sold} cleanup by {Part} on {_}](R)
             T <- TUPLENEW[Id](R)
             T <- SETNEW[Tag](R)
             T <- COPY(R)
         "#;
         let p = parse(src).unwrap();
-        assert_eq!(p.statements.len(), 20);
+        assert_eq!(p.statements.len(), 22);
+    }
+
+    #[test]
+    fn parses_fused_restructure_clauses() {
+        let p =
+            parse("T <- FUSEDRESTRUCTURE[group by {Region} on {Sold} cleanup by {Part} on {_}](R)")
+                .unwrap();
+        let Statement::Assign(a) = &p.statements[0] else {
+            panic!("expected assignment")
+        };
+        let OpKind::FusedRestructure(chain) = &a.op else {
+            panic!("expected fused restructure")
+        };
+        assert!(chain.purge.is_none());
+        assert!(parse("T <- FUSEDRESTRUCTURE[group by {A} on {B}](R)").is_err());
+        assert!(parse("T <- FUSEDRESTRUCTURE[cleanup by {A} on {B}](R)").is_err());
     }
 
     #[test]

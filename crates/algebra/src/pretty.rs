@@ -21,6 +21,12 @@ fn ident_ok(s: &str) -> bool {
         && !s.eq_ignore_ascii_case("end")
         && !s.eq_ignore_ascii_case("by")
         && !s.eq_ignore_ascii_case("on")
+        // FUSEDRESTRUCTURE clause keywords: a bare identifier spelled like
+        // one of these inside its bracket list would be taken as the next
+        // clause, so such names always render quoted.
+        && !s.eq_ignore_ascii_case("group")
+        && !s.eq_ignore_ascii_case("cleanup")
+        && !s.eq_ignore_ascii_case("purge")
 }
 
 fn render_symbol(s: Symbol, out: &mut String) {
@@ -167,6 +173,23 @@ fn render_op(op: &OpKind, out: &mut String) {
             render_param(on, out);
             out.push_str(" by ");
             render_param(by, out);
+            out.push(']');
+        }
+        OpKind::FusedRestructure(chain) => {
+            out.push_str("[group by ");
+            render_param(&chain.group_by, out);
+            out.push_str(" on ");
+            render_param(&chain.group_on, out);
+            out.push_str(" cleanup by ");
+            render_param(&chain.cleanup_by, out);
+            out.push_str(" on ");
+            render_param(&chain.cleanup_on, out);
+            if let Some((on, by)) = &chain.purge {
+                out.push_str(" purge on ");
+                render_param(on, out);
+                out.push_str(" by ");
+                render_param(by, out);
+            }
             out.push(']');
         }
         OpKind::TupleNew { attr } | OpKind::SetNew { attr } => {
@@ -367,6 +390,8 @@ mod tests {
             T <- SWITCH[v:east](R)
             T <- CLEANUP[by {Part} on {_}](R)
             T <- PURGE[on {Sold} by {Region}](R)
+            T <- FUSEDRESTRUCTURE[group by {Region} on {Sold} cleanup by {Part} on {_} purge on {Sold} by {Region}](R)
+            T <- FUSEDRESTRUCTURE[group by {Region} on {Sold} cleanup by {Part} on {_}](R)
             T <- TUPLENEW[Id](R)
             T <- SETNEW[Tag](R)
             T <- COPY(R)
@@ -391,6 +416,11 @@ mod tests {
         round_trip(r#"T <- SWITCH[v:"east west"](R)"#);
         round_trip(r#"T <- SWITCH[n:"has \"quotes\""](R)"#);
         round_trip(r#"T <- SELECTCONST[A = v:"50"](R)"#);
+        // Clause keywords used as attribute names must render quoted, or a
+        // re-parse would read them as the next FUSEDRESTRUCTURE clause.
+        round_trip(
+            r#"T <- FUSEDRESTRUCTURE[group by n:"purge" on {Sold} cleanup by n:"group" on n:"cleanup"](R)"#,
+        );
     }
 
     #[test]

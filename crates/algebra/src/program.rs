@@ -109,10 +109,38 @@ pub enum OpKind {
         /// Right attribute.
         b: Param,
     },
+    /// Fused `PURGE ∘ CLEAN-UP ∘ GROUP` (or the 2-op `CLEAN-UP ∘ GROUP`
+    /// prefix when `purge` is `None`) — an internal restructuring operator
+    /// the optimizer introduces for single-use scratch pivot chains;
+    /// semantically identical to the staged pipeline but evaluated in one
+    /// pass when the single-pass model applies, never materializing the
+    /// quadratic grouped intermediate.
+    /// The five parameter slots are boxed ([`RestructureChain`]) so this
+    /// widest variant does not balloon every `OpKind` and `Statement`.
+    FusedRestructure(Box<RestructureChain>),
     /// Copy under a new name — derived (`RENAME_{A←A}`).
     Copy,
     /// Classical union — derived (union ∘ purge ∘ clean-up, §3.4).
     ClassicalUnion,
+}
+
+/// The parameter block of an [`OpKind::FusedRestructure`] chain. Boxed
+/// inside the variant: five `Param`s inline would make it by far the
+/// widest `OpKind` and bloat every `Statement`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RestructureChain {
+    /// `GROUP by` — grouping attributes.
+    pub group_by: Param,
+    /// `GROUP on` — grouped attributes.
+    pub group_on: Param,
+    /// `CLEAN-UP by` — grouping column attributes (over the
+    /// intermediate).
+    pub cleanup_by: Param,
+    /// `CLEAN-UP on` — participating row attributes (over the
+    /// intermediate).
+    pub cleanup_on: Param,
+    /// `PURGE (on, by)` closing the chain, if present.
+    pub purge: Option<(Param, Param)>,
 }
 
 impl OpKind {
@@ -151,6 +179,7 @@ impl OpKind {
             OpKind::TupleNew { .. } => "TUPLENEW",
             OpKind::SetNew { .. } => "SETNEW",
             OpKind::FusedJoin { .. } => "FUSEDJOIN",
+            OpKind::FusedRestructure { .. } => "FUSEDRESTRUCTURE",
             OpKind::Copy => "COPY",
             OpKind::ClassicalUnion => "CLASSICALUNION",
         }

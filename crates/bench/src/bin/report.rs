@@ -31,13 +31,27 @@ struct Row {
     micros: u128,
 }
 
-/// The join-fusion head-to-head, summarized for `BENCH_5.json`.
+/// The join-fusion head-to-head, summarized for `BENCH_6.json`.
 struct FusionSummary {
     unfused_us: u128,
     fused_us: u128,
     kernel_runs: usize,
     product_cells: usize,
     join_cells: usize,
+}
+
+/// The restructuring-fusion head-to-head at 128×32, summarized for
+/// `BENCH_6.json`.
+struct RestructureSummary {
+    staged_us: u128,
+    fused_us: u128,
+    kernel_runs: usize,
+    /// Cells of the grouped intermediate the staged pipeline materializes.
+    cells_staged: usize,
+    /// Peak table of the fused run (the cross-tab itself).
+    cells_fused_peak: usize,
+    /// End-to-end fused `pivot` vs the hand-written baseline.
+    overhead_x: f64,
 }
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
@@ -531,23 +545,80 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    // §4.3: TA as the OLAP restructuring language (scaling spot-check)
+    // §4.3: TA as the OLAP restructuring language (scaling spot-check).
+    // The `pivot` path now runs through `optimize::fuse_restructure`, so
+    // the TA column measures the fused kernel; the staged pipeline (the
+    // pre-fusion chain) is timed head-to-head at every size.
     // ------------------------------------------------------------------
-    for &(p, r) in &[(16usize, 8usize), (64, 16), (128, 32)] {
-        let rel = fixtures::make_sales_relation(p, r);
-        let (ta, us_ta) =
-            timed(|| pivot(&rel, Symbol::name("Region"), Symbol::name("Sold"), &limits).unwrap());
-        let (base, us_base) =
-            timed(|| pivot_direct(&rel, Symbol::name("Region"), Symbol::name("Sold")).unwrap());
-        rows.push(Row {
-            id: "§4.3",
-            what: format!(
-                "pivot {p}×{r}: TA program {us_ta}µs vs baseline {us_base}µs ({}× overhead)",
-                (us_ta.max(1)) / us_base.max(1)
-            ),
-            outcome: verdict(ta.equiv(&base)),
-            micros: us_ta,
-        });
+    let restructure: RestructureSummary;
+    {
+        let mut summary = None;
+        let median_of = |f: &dyn Fn() -> u128| {
+            let mut samples: Vec<u128> = (0..9).map(|_| f()).collect();
+            samples.sort_unstable();
+            samples[samples.len() / 2]
+        };
+        for &(p, r) in &[(16usize, 8usize), (64, 16), (128, 32)] {
+            let rel = fixtures::make_sales_relation(p, r);
+            let (ta, us_ta) = timed(|| {
+                pivot(&rel, Symbol::name("Region"), Symbol::name("Sold"), &limits).unwrap()
+            });
+            let (base, us_base) =
+                timed(|| pivot_direct(&rel, Symbol::name("Region"), Symbol::name("Sold")).unwrap());
+            let overhead = us_ta as f64 / us_base.max(1) as f64;
+            rows.push(Row {
+                id: "§4.3",
+                what: format!(
+                    "pivot {p}×{r}: TA program {us_ta}µs vs baseline {us_base}µs \
+                     ({overhead:.1}× overhead)"
+                ),
+                outcome: verdict(ta.equiv(&base)),
+                micros: us_ta,
+            });
+
+            // Staged vs fused as whole TA programs over the same database.
+            let keys = [Symbol::name("Part")];
+            let staged_p = tabular_olap::pivot_program(
+                rel.name(),
+                Symbol::name("Region"),
+                Symbol::name("Sold"),
+                &keys,
+                Symbol::name("Pivoted"),
+            );
+            let fused_p = tabular_algebra::optimize::fuse_restructure(&staged_p);
+            let db = tabular_core::Database::from_tables([rel.clone()]);
+            let us_staged = median_of(&|| timed(|| run(&staged_p, &db, &limits).unwrap()).1);
+            let us_fused = median_of(&|| timed(|| run(&fused_p, &db, &limits).unwrap()).1);
+            let (out_s, stats_s) = run_with_stats(&staged_p, &db, &limits).unwrap();
+            let (out_f, stats_f) = run_with_stats(&fused_p, &db, &limits).unwrap();
+            let same = out_s.table_str("Pivoted").unwrap() == out_f.table_str("Pivoted").unwrap();
+            let speedup = us_staged as f64 / us_fused.max(1) as f64;
+            rows.push(Row {
+                id: "restructure",
+                what: format!(
+                    "pivot {p}×{r} staged {us_staged}µs vs fused kernel {us_fused}µs \
+                     ({speedup:.1}×, peak {} → {} cells)",
+                    stats_s.max_table_cells, stats_f.max_table_cells
+                ),
+                outcome: verdict(
+                    same && stats_f.restructure_fused > 0 && stats_f.restructure_unfused == 0,
+                ),
+                micros: us_fused,
+            });
+            if (p, r) == (128, 32) {
+                let by = SymbolSet::from_iter([Symbol::name("Region")]);
+                let on = SymbolSet::from_iter([Symbol::name("Sold")]);
+                summary = Some(RestructureSummary {
+                    staged_us: us_staged,
+                    fused_us: us_fused,
+                    kernel_runs: stats_f.restructure_fused,
+                    cells_staged: tabular_algebra::ops::grouped_cells(&rel, &by, &on),
+                    cells_fused_peak: stats_f.max_table_cells,
+                    overhead_x: overhead,
+                });
+            }
+        }
+        restructure = summary.expect("the 128×32 size ran");
     }
 
     // Contribution (4): GOOD embedded in the tabular model.
@@ -670,10 +741,15 @@ fn main() {
         })
         .collect();
     let speedup = fusion.unfused_us as f64 / fusion.fused_us.max(1) as f64;
+    let restructure_speedup = restructure.staged_us as f64 / restructure.fused_us.max(1) as f64;
     let json = format!(
         "{{\n  \"bench\": \"tc_chain_24\",\n  \"fusion\": {{\"unfused_us\": {}, \
          \"fused_us\": {}, \"speedup\": {:.2}, \"kernel_runs\": {}, \
          \"product_cells_staged\": {}, \"join_cells_out\": {}, \"cells_avoided\": {}}},\n  \
+         \"restructure\": {{\"bench\": \"pivot_128x32\", \"staged_us\": {}, \
+         \"fused_us\": {}, \"speedup\": {:.2}, \"kernel_runs\": {}, \
+         \"cells_staged\": {}, \"cells_fused_peak\": {}, \"cells_avoided\": {}, \
+         \"pivot_overhead_vs_baseline\": {:.2}}},\n  \
          \"rows\": [\n{}\n  ]\n}}\n",
         fusion.unfused_us,
         fusion.fused_us,
@@ -682,12 +758,26 @@ fn main() {
         fusion.product_cells,
         fusion.join_cells,
         fusion.product_cells.saturating_sub(fusion.join_cells),
+        restructure.staged_us,
+        restructure.fused_us,
+        restructure_speedup,
+        restructure.kernel_runs,
+        restructure.cells_staged,
+        restructure.cells_fused_peak,
+        restructure
+            .cells_staged
+            .saturating_sub(restructure.cells_fused_peak),
+        restructure.overhead_x,
         json_rows.join(",\n")
     );
-    if let Err(e) = std::fs::write("BENCH_5.json", &json) {
-        eprintln!("could not write BENCH_5.json: {e}");
+    if let Err(e) = std::fs::write("BENCH_6.json", &json) {
+        eprintln!("could not write BENCH_6.json: {e}");
     } else {
-        println!("wrote BENCH_5.json ({:.1}× fused speedup)", speedup);
+        println!(
+            "wrote BENCH_6.json (join {speedup:.1}×, restructure {restructure_speedup:.1}× \
+             fused speedup, pivot 128×32 at {:.1}× of baseline)",
+            restructure.overhead_x
+        );
     }
     assert_eq!(failed, 0, "experiment regressions");
     let _ = SymbolSet::new(); // keep the prelude import exercised

@@ -143,7 +143,17 @@ pub fn pivot_governed(
         t.scheme().minus(&drop).iter().collect()
     };
     let target = Symbol::fresh_name();
-    let p = pivot_program(t.name(), col_attr, val_attr, &keys, target);
+    // Fuse the GROUP → CLEAN-UP → PURGE chain into the single-pass
+    // restructuring kernel. (The full `optimize` pipeline would also run
+    // dead-assignment elimination, which treats the reserved `target`
+    // name as scratch and would drop the whole program.)
+    let p = tabular_algebra::optimize::fuse_restructure(&pivot_program(
+        t.name(),
+        col_attr,
+        val_attr,
+        &keys,
+        target,
+    ));
     let db = Database::from_tables([t.clone()]);
     let out = tabular_algebra::run_governed(&p, &db, budget)?;
     let mut result = out

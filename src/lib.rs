@@ -41,7 +41,7 @@ pub mod prelude {
     pub use tabular_algebra::{
         parser::parse, pretty::render, pretty::render_trace, run, run_governed,
         run_governed_traced, run_outputs, run_traced, run_with_stats, Budget, CancelToken,
-        EvalLimits, OpKind, Param, Program, Trace, TraceLevel, WhileStrategy,
+        EvalLimits, OpKind, Param, Program, RestructureChain, Trace, TraceLevel, WhileStrategy,
     };
     pub use tabular_canonical::{decode, encode, encode_program, EncodeScheme, Transformation};
     pub use tabular_core::{fixtures, Database, Symbol, SymbolSet, Table};

@@ -292,4 +292,62 @@ fn snapshots_allocate_nothing_and_copy_no_cell_buffers() {
         "renaming an absent attribute in place must not copy the cell buffer"
     );
     assert!(renamed.shares_cells_with(&q));
+
+    // ------------------------------------------------------------------
+    // Guard 7: the fused restructuring kernel never materializes the
+    // grouped intermediate. Pivoting a 128×32 fact table stages a
+    // ≈9.4M-cell grouped table (≥75 MB of symbols) through GROUP →
+    // CLEAN-UP → PURGE; the fused kernel goes straight to the ≈4.4K-cell
+    // cross-tab, so its allocation while armed must stay a small
+    // constant multiple of the output. The staged program's allocation
+    // is measured alongside for contrast: the gap *is* the intermediate.
+    // ------------------------------------------------------------------
+    let rel = fixtures::make_sales_relation(128, 32);
+    let (col, val) = (Symbol::name("Region"), Symbol::name("Sold"));
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    BYTES.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let fused_out = pivot(&rel, col, val, &EvalLimits::default()).unwrap();
+    ARMED.store(false, Ordering::SeqCst);
+    let fused_bytes = BYTES.load(Ordering::SeqCst);
+
+    assert_eq!(fused_out.height(), 129, "one cross-tab row per part");
+    assert_eq!(fused_out.width(), 33, "one cross-tab column per region");
+    assert!(
+        fused_bytes < 4 << 20,
+        "fused pivot allocation must be O(|input| + |output|), not \
+         O(|grouped intermediate|) (allocated {fused_bytes} bytes while armed)"
+    );
+
+    let target = Symbol::fresh_name();
+    let staged_program = tables_paradigm::olap::pivot::pivot_program(
+        rel.name(),
+        col,
+        val,
+        &[Symbol::name("Part")],
+        target,
+    );
+    let staged_input = Database::from_tables([rel]);
+    let staged_limits = EvalLimits {
+        max_cells: usize::MAX,
+        ..EvalLimits::default()
+    };
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    BYTES.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let staged_out = run(&staged_program, &staged_input, &staged_limits).unwrap();
+    ARMED.store(false, Ordering::SeqCst);
+    let staged_bytes = BYTES.load(Ordering::SeqCst);
+
+    assert!(
+        staged_out.table(target).unwrap().equiv(&fused_out),
+        "staged and fused pivots agree on the cross-tab"
+    );
+    assert!(
+        staged_bytes > 16 * fused_bytes,
+        "the staged pipeline materializes the grouped intermediate the \
+         kernel avoids (staged {staged_bytes} vs fused {fused_bytes} bytes)"
+    );
 }

@@ -482,6 +482,174 @@ proptest! {
     }
 }
 
+// ----------------------------------------------------------------------
+// The restructuring oracle: restructure fusion on ≡ off
+// ----------------------------------------------------------------------
+
+/// A `GROUP → CLEANUP (→ PURGE)` chain staged through single-use
+/// reserved-namespace scratches — the exact shape `fuse_restructure`
+/// rewrites into `FUSEDRESTRUCTURE`. `n` keeps scratch names unique
+/// across splices.
+#[allow(clippy::too_many_arguments)]
+fn restructure_chain(
+    n: usize,
+    t: &str,
+    x: &str,
+    by: &str,
+    on: &str,
+    key: &str,
+    cleanup_on_null: bool,
+    with_purge: bool,
+) -> Vec<Statement> {
+    use tables_paradigm::algebra::Assignment;
+    let grouped = Param::sym(Symbol::name(&format!("\u{1F}fr{n}a")));
+    let cleanup_on = if cleanup_on_null {
+        Param::null()
+    } else {
+        Param::name(key)
+    };
+    let mut stmts = vec![Statement::Assign(Assignment {
+        target: grouped.clone(),
+        op: OpKind::Group {
+            by: Param::name(by),
+            on: Param::name(on),
+        },
+        args: vec![Param::name(x)],
+    })];
+    let cleanup = |target: Param, arg: Param| {
+        Statement::Assign(Assignment {
+            target,
+            op: OpKind::CleanUp {
+                by: Param::name(key),
+                on: cleanup_on.clone(),
+            },
+            args: vec![arg],
+        })
+    };
+    if with_purge {
+        let cleaned = Param::sym(Symbol::name(&format!("\u{1F}fr{n}b")));
+        stmts.push(cleanup(cleaned.clone(), grouped));
+        stmts.push(Statement::Assign(Assignment {
+            target: Param::name(t),
+            op: OpKind::Purge {
+                on: Param::name(on),
+                by: Param::name(by),
+            },
+            args: vec![cleaned],
+        }));
+    } else {
+        stmts.push(cleanup(Param::name(t), grouped));
+    }
+    stmts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The restructuring oracle: applying the optimizer's
+    /// restructure-fusion rewrite must not change any visible output
+    /// under any strategy or shard configuration. Random programs get
+    /// GROUP → CLEANUP (→ PURGE) chains spliced into the prologue
+    /// (always executed) and the loop body (full re-evaluation inside
+    /// the delta engine); whether each chain's shape lets the
+    /// single-pass kernel apply or forces the staged fallback varies
+    /// with the drawn attributes — both must agree with the unfused
+    /// program. Like the join oracle, the comparison is asymmetric on
+    /// resource trips: fusion never materializes the quadratic grouped
+    /// intermediate, so a fused run may succeed where the unfused
+    /// baseline exhausts `max_cells`/`max_tables`.
+    #[test]
+    fn restructure_fusion_on_and_off_agree(
+        src in arb_program(),
+        db in arb_input(),
+        (t1, x1, by1, on1, k1) in (0usize..5, 0usize..6, 0usize..4, 0usize..4, 0usize..4),
+        (t2, x2, by2, on2, k2) in (0usize..5, 0usize..6, 0usize..4, 0usize..4, 0usize..4),
+        (shape1, shape2) in (0usize..4, 0usize..4),
+    ) {
+        use tables_paradigm::algebra::optimize::fuse_restructure;
+
+        let (null1, purge1) = (shape1 & 1 == 0, shape1 & 2 == 0);
+        let (null2, purge2) = (shape2 & 1 == 0, shape2 & 2 == 0);
+
+        let mut program = parse(&src).unwrap_or_else(|e| {
+            panic!("generated program must parse: {e}\n{src}")
+        });
+        let head = restructure_chain(
+            0, TARGETS[t1], SOURCES[x1], ATTRS[by1], ATTRS[on1], ATTRS[k1], null1, purge1,
+        );
+        program.statements.splice(0..0, head);
+        if let Some(Statement::While { body, .. }) = program
+            .statements
+            .iter_mut()
+            .find(|s| matches!(s, Statement::While { .. }))
+        {
+            let inner = restructure_chain(
+                1, TARGETS[t2], SOURCES[x2], ATTRS[by2], ATTRS[on2], ATTRS[k2], null2, purge2,
+            );
+            body.splice(0..0, inner);
+        }
+        let fused = fuse_restructure(&program);
+        fn count_fused(stmts: &[Statement]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Statement::Assign(a) => {
+                        usize::from(matches!(a.op, OpKind::FusedRestructure { .. }))
+                    }
+                    Statement::While { body, .. } => count_fused(body),
+                })
+                .sum()
+        }
+        prop_assert!(count_fused(&fused.statements) >= 1, "spliced chains must fuse");
+
+        let configs = [
+            limits(WhileStrategy::Naive, usize::MAX),
+            limits(WhileStrategy::Naive, 1),
+            limits(WhileStrategy::Delta, usize::MAX),
+            limits(WhileStrategy::Delta, 1),
+        ];
+        let baseline = run_traced(&program, &db, &configs[0]);
+        let Ok((base_out, _, _)) = &baseline else {
+            // Unfused baseline tripped a resource limit; fused runs may
+            // legitimately proceed further, so there is nothing to pin.
+            return Ok(());
+        };
+        let expect = canonicalize_fresh(&visible(base_out));
+        for cfg in &configs {
+            let (got, stats, _) = run_traced(&fused, &db, cfg).unwrap_or_else(|e| {
+                panic!(
+                    "fused run failed where unfused baseline succeeded \
+                     under {:?}/threshold {}: {e}\nprogram:\n{src}",
+                    cfg.while_strategy, cfg.parallel_threshold
+                )
+            });
+            prop_assert!(
+                expect == canonicalize_fresh(&visible(&got)),
+                "fused output diverges under {:?}/threshold {}\nprogram:\n{}",
+                cfg.while_strategy, cfg.parallel_threshold, src
+            );
+            // The prologue chain always executes, so every fused run
+            // decides the kernel-vs-fallback question at least once.
+            prop_assert!(
+                stats.restructure_fused + stats.restructure_unfused >= 1,
+                "fused run recorded no restructure decision under {:?}/threshold {}",
+                cfg.while_strategy, cfg.parallel_threshold
+            );
+        }
+        // And the unfused program itself still agrees across strategies
+        // on the spliced shape.
+        for cfg in &configs[1..] {
+            if let Ok((got, _, _)) = run_traced(&program, &db, cfg) {
+                prop_assert!(
+                    expect == canonicalize_fresh(&visible(&got)),
+                    "unfused output diverges under {:?}/threshold {}\nprogram:\n{}",
+                    cfg.while_strategy, cfg.parallel_threshold, src
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -488,6 +488,81 @@ fn cell_budget_trips_the_olap_pivot_path() {
     assert!(plain.equiv(&governed));
 }
 
+#[test]
+fn cell_budget_between_fused_output_and_staged_intermediate_separates_the_paths() {
+    use tables_paradigm::algebra::optimize::fuse_restructure;
+    use tables_paradigm::core::fixtures;
+
+    // A 16×8 pivot: the staged chain materializes a ≈16,900-cell grouped
+    // intermediate, while the fused kernel's largest table is the
+    // ≈180-cell cross-tab. A run-cell budget of 2,000 sits squarely
+    // between the two, so it *must* trip the staged program and *must
+    // not* trip the fused one — the budget separation is exactly the
+    // intermediate the kernel never builds.
+    let rel = fixtures::make_sales_relation(16, 8);
+    let target = Symbol::fresh_name();
+    let staged = tables_paradigm::olap::pivot::pivot_program(
+        rel.name(),
+        Symbol::name("Region"),
+        Symbol::name("Sold"),
+        &[Symbol::name("Part")],
+        target,
+    );
+    let fused = fuse_restructure(&staged);
+    let db = Database::from_tables([rel]);
+
+    let mut trips: Vec<(String, usize, usize)> = Vec::new();
+    let mut outputs: Vec<Table> = Vec::new();
+    for (strategy, threshold) in CONFIGS {
+        let budget = Budget::from_limits(&limits(strategy, threshold)).with_cell_budget(2_000);
+
+        let err = run_governed_traced(&staged, &db, &budget).unwrap_err();
+        let msg = err.to_string();
+        let (resource, _, _, partial) = unwrap_trip(err);
+        assert_eq!(
+            resource,
+            governor::RESOURCE_RUN_CELLS,
+            "{strategy:?}/{threshold}: the staged chain exhausts the budget"
+        );
+        assert_partial_trace(
+            &partial.trace,
+            &format!("{strategy:?}/{threshold} staged pivot"),
+        );
+        trips.push((
+            msg,
+            partial.stats.tables_produced,
+            partial.stats.max_table_cells,
+        ));
+
+        let (out, stats, _) = run_governed_traced(&fused, &db, &budget).unwrap_or_else(|e| {
+            panic!("{strategy:?}/{threshold}: the fused pivot fits the budget, got {e}")
+        });
+        assert!(
+            stats.restructure_fused >= 1,
+            "{strategy:?}/{threshold}: the single-pass kernel ran"
+        );
+        assert_eq!(
+            stats.restructure_unfused, 0,
+            "{strategy:?}/{threshold}: no staged fallback under the budget"
+        );
+        outputs.push(out.table(target).expect("fused pivot output").clone());
+    }
+
+    // Same program, same budget: the staged trip point is deterministic
+    // across every strategy × sharding configuration…
+    let first = &trips[0];
+    for t in &trips[1..] {
+        assert_eq!(t, first, "staged trip stats agree across configurations");
+    }
+    // …and every fused run produced the same cross-tab.
+    for out in &outputs[1..] {
+        assert_eq!(
+            out, &outputs[0],
+            "fused outputs agree across configurations"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------
 // Trip, raise, re-run: the limit audit of satellite 3
 // ---------------------------------------------------------------------

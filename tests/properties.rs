@@ -440,6 +440,130 @@ proptest! {
         prop_assert_eq!(fused, pipeline);
     }
 
+    // ------------------------------------------------------------------
+    // Restructuring fusion (optimizer):
+    // FUSEDRESTRUCTURE ≡ PURGE ∘ CLEANUP ∘ GROUP
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fused_restructure_op_equals_staged_chain(
+        mut r in arb_table(),
+        (a, b) in (arb_symbol(), arb_symbol()),
+        (k, o) in (arb_symbol(), arb_symbol()),
+    ) {
+        // The fused operator is *defined* as the staged chain: whether the
+        // single-pass kernel applies or evaluation falls back to staging,
+        // the visible result must be identical — on messy tables too
+        // (repeated attributes, ⊥ in parameters, attributes absent from
+        // the operand). Covered for both the 3-op chain and the 2-op
+        // CLEANUP ∘ GROUP prefix.
+        r.set_name(Symbol::name("R"));
+        let db = Database::from_tables([r]);
+        for with_purge in [true, false] {
+            let purge = with_purge.then(|| (Param::sym(b), Param::sym(a)));
+            let fused = Program::new().assign(
+                Param::name("T"),
+                OpKind::FusedRestructure(Box::new(RestructureChain {
+                    group_by: Param::sym(a),
+                    group_on: Param::sym(b),
+                    cleanup_by: Param::sym(k),
+                    cleanup_on: Param::sym(o),
+                    purge,
+                })),
+                vec![Param::name("R")],
+            );
+            let mut staged = Program::new()
+                .assign(
+                    Param::name("G"),
+                    OpKind::Group { by: Param::sym(a), on: Param::sym(b) },
+                    vec![Param::name("R")],
+                )
+                .assign(
+                    Param::name("T"),
+                    OpKind::CleanUp { by: Param::sym(k), on: Param::sym(o) },
+                    vec![Param::name("G")],
+                );
+            if with_purge {
+                staged = Program::new()
+                    .assign(
+                        Param::name("G"),
+                        OpKind::Group { by: Param::sym(a), on: Param::sym(b) },
+                        vec![Param::name("R")],
+                    )
+                    .assign(
+                        Param::name("C2"),
+                        OpKind::CleanUp { by: Param::sym(k), on: Param::sym(o) },
+                        vec![Param::name("G")],
+                    )
+                    .assign(
+                        Param::name("T"),
+                        OpKind::Purge { on: Param::sym(b), by: Param::sym(a) },
+                        vec![Param::name("C2")],
+                    );
+            }
+            let f = run(&fused, &db, &EvalLimits::default()).expect("fused run");
+            let s = run(&staged, &db, &EvalLimits::default()).expect("staged run");
+            prop_assert_eq!(
+                f.table(Symbol::name("T")).expect("fused output"),
+                s.table(Symbol::name("T")).expect("staged output"),
+                "with_purge = {}", with_purge
+            );
+        }
+    }
+
+    #[test]
+    fn fused_restructure_kernel_matches_staged_on_pivot_shape(t in arb_fact_table()) {
+        // `arb_fact_table` keeps one fact per (K, C), so the pivot chain
+        // is conflict-free and the single-pass kernel *must* apply (no
+        // vacuous pass through the fallback) and reproduce the staged
+        // pipeline byte for byte.
+        let spec = ops::RestructureSpec {
+            group_by: SymbolSet::from_iter([Symbol::name("C")]),
+            group_on: SymbolSet::from_iter([Symbol::name("M")]),
+            cleanup_by: SymbolSet::from_iter([Symbol::name("K")]),
+            cleanup_on: SymbolSet::from_iter([Symbol::Null]),
+            purge: Some((
+                SymbolSet::from_iter([Symbol::name("M")]),
+                SymbolSet::from_iter([Symbol::name("C")]),
+            )),
+        };
+        let name = Symbol::name("Pivoted");
+        let fused = ops::fused_restructure(&t, &spec, name);
+        prop_assert!(fused.is_some(), "kernel must apply to the conflict-free pivot shape");
+        let g = ops::group(&t, &spec.group_by, &spec.group_on, name);
+        let c = ops::cleanup(&g, &spec.cleanup_by, &spec.cleanup_on, name);
+        let (p_on, p_by) = spec.purge.as_ref().expect("pivot spec purges");
+        let staged = ops::purge(&c, p_on, p_by, name);
+        prop_assert_eq!(fused.expect("checked above"), staged);
+    }
+
+    #[test]
+    fn purge_and_cleanup_commute_on_grouped_fact_tables(t in arb_fact_table()) {
+        // §3.4: on a grouped table the two redundancy removals act on
+        // disjoint axes — the clean-up merges data rows (keyed by row
+        // attribute and carried subtuple), the purge merges copy-block
+        // columns (keyed by header tuple) — and with one fact per (K, C)
+        // no merged cell ever receives two non-⊥ contributions, so the
+        // paper's composition order is immaterial.
+        let by = SymbolSet::from_iter([Symbol::name("C")]);
+        let on = SymbolSet::from_iter([Symbol::name("M")]);
+        let keys = SymbolSet::from_iter([Symbol::name("K")]);
+        let rows = SymbolSet::from_iter([Symbol::Null]);
+        let g = ops::group(&t, &by, &on, Symbol::name("G"));
+        let cleanup_first = {
+            let c = ops::cleanup(&g, &keys, &rows, Symbol::name("T"));
+            ops::purge(&c, &on, &by, Symbol::name("T"))
+        };
+        let purge_first = {
+            let p = ops::purge(&g, &on, &by, Symbol::name("T"));
+            ops::cleanup(&p, &keys, &rows, Symbol::name("T"))
+        };
+        prop_assert!(
+            cleanup_first.equiv(&purge_first),
+            "cleanup∘purge:\n{purge_first}\npurge∘cleanup:\n{cleanup_first}"
+        );
+    }
+
     #[test]
     fn pivot_unpivot_round_trip(t in arb_fact_table()) {
         prop_assume!(t.height() > 0);
@@ -479,4 +603,76 @@ proptest! {
         let p2 = parse(&render(&p1)).expect("rendered form re-parses");
         prop_assert_eq!(p1, p2);
     }
+}
+
+// ----------------------------------------------------------------------
+// Degenerate-shape pins for GROUP and the fused restructuring kernel.
+// ----------------------------------------------------------------------
+
+/// The pivot-shaped spec over `Facts(K, C, M)` used by the proptests
+/// above, shared by the degenerate pins.
+fn facts_pivot_spec() -> ops::RestructureSpec {
+    ops::RestructureSpec {
+        group_by: SymbolSet::from_iter([Symbol::name("C")]),
+        group_on: SymbolSet::from_iter([Symbol::name("M")]),
+        cleanup_by: SymbolSet::from_iter([Symbol::name("K")]),
+        cleanup_on: SymbolSet::from_iter([Symbol::Null]),
+        purge: Some((
+            SymbolSet::from_iter([Symbol::name("M")]),
+            SymbolSet::from_iter([Symbol::name("C")]),
+        )),
+    }
+}
+
+fn staged_facts_pivot(t: &Table, name: Symbol) -> Table {
+    let spec = facts_pivot_spec();
+    let g = ops::group(t, &spec.group_by, &spec.group_on, name);
+    let c = ops::cleanup(&g, &spec.cleanup_by, &spec.cleanup_on, name);
+    let (p_on, p_by) = spec.purge.expect("pivot spec purges");
+    ops::purge(&c, &p_on, &p_by, name)
+}
+
+#[test]
+fn group_and_fused_restructure_pin_the_empty_table() {
+    let empty = Table::relational("Facts", &["K", "C", "M"], &[]);
+    let by = SymbolSet::from_iter([Symbol::name("C")]);
+    let on = SymbolSet::from_iter([Symbol::name("M")]);
+    let g = ops::group(&empty, &by, &on, Symbol::name("G"));
+    // No data rows means no copy blocks: the grouped table is just the
+    // carried K column under the one C header row, entirely ⊥.
+    assert_eq!((g.height(), g.width()), (1, 1), "group of nothing:\n{g}");
+    let fused = ops::fused_restructure(&empty, &facts_pivot_spec(), Symbol::name("T"))
+        .expect("kernel applies to the empty pivot shape");
+    assert_eq!(fused, staged_facts_pivot(&empty, Symbol::name("T")));
+    assert_eq!(
+        (fused.height(), fused.width()),
+        (1, 1),
+        "empty cross-tab keeps only the header row:\n{fused}"
+    );
+}
+
+#[test]
+fn group_and_fused_restructure_pin_the_singleton_table() {
+    let one = Table::relational("Facts", &["K", "C", "M"], &[&["k0", "c0", "7"]]);
+    let by = SymbolSet::from_iter([Symbol::name("C")]);
+    let on = SymbolSet::from_iter([Symbol::name("M")]);
+    let g = ops::group(&one, &by, &on, Symbol::name("G"));
+    // One data row makes exactly one copy block: the carried K column
+    // plus one grouped M column, under one C header row.
+    assert_eq!(g.width(), 2, "singleton grouping blows up to K + 1·M:\n{g}");
+    let fused = ops::fused_restructure(&one, &facts_pivot_spec(), Symbol::name("T"))
+        .expect("kernel applies to the singleton pivot shape");
+    assert_eq!(fused, staged_facts_pivot(&one, Symbol::name("T")));
+    // The singleton cross-tab: a header row naming the one category and a
+    // data row carrying (k0, 7).
+    assert_eq!(
+        fused.width(),
+        2,
+        "cross-tab is K + one category column:\n{fused}"
+    );
+    assert_eq!(
+        fused.height(),
+        2,
+        "cross-tab is one header + one data row:\n{fused}"
+    );
 }
