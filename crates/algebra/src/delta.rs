@@ -322,10 +322,14 @@ fn run_body_statement(
         } else if in_place {
             // The cached output is the target's sole table. Drop our
             // handle first so the store's copy is uniquely owned and the
-            // append materializes no copy.
+            // append materializes no copy. `update_named`'s closure
+            // returns `()`, so the fallible (possibly partitioned) apply
+            // reports through a captured slot.
             drop(cached);
-            let committed = db.update_named(target, |out| inc.plan.apply(out));
+            let mut applied = Ok(Vec::new());
+            let committed = db.update_named(target, |out| applied = inc.plan.apply(out, cx, pool));
             debug_assert!(committed, "in-place target is a unique table");
+            metrics.note_partitioned(&applied?);
             let out = db
                 .tables_named_iter(target)
                 .next()
@@ -334,7 +338,8 @@ fn run_body_statement(
             (true, out)
         } else {
             let mut out = cached;
-            inc.plan.apply(&mut out);
+            let report = inc.plan.apply(&mut out, cx, pool)?;
+            metrics.note_partitioned(&report);
             replace_results(vec![out.clone()], db);
             (true, out)
         };
@@ -481,10 +486,38 @@ enum IncPlan {
 }
 
 impl IncPlan {
-    fn apply(self, out: &mut Table) {
+    /// Commit the plan into the cached output. A `Join` whose delta
+    /// reaches [`crate::EvalLimits::partition_threshold`] probe rows runs
+    /// the partition-parallel append on the run's pool — byte-identical
+    /// to the serial append — and returns its per-partition report (empty
+    /// for every other path). The partitioned path polls the governor
+    /// between partition chunks but charges nothing: the delta commit is
+    /// fully pre-charged by `check_virtual_result` before `apply` runs.
+    fn apply(
+        self,
+        out: &mut Table,
+        cx: Exec<'_>,
+        pool: &mut LazyPool,
+    ) -> Result<Vec<ops::PartitionShard>> {
         match self {
             IncPlan::Product { r, s, base } => ops::product_append(out, &r, base + 1, &s),
             IncPlan::Join { r, s, base, cols } => {
+                let delta_rows = r.height().saturating_sub(base);
+                if delta_rows >= cx.limits.partition_threshold.max(1) {
+                    let pool = pool.get();
+                    let gov = cx.gov;
+                    return ops::join_append_partitioned(
+                        out,
+                        &r,
+                        base + 1,
+                        &s,
+                        cols,
+                        pool,
+                        pool.threads(),
+                        &|| gov.poll(),
+                        &mut |_| Ok(()),
+                    );
+                }
                 ops::join_append(out, &r, base + 1, &s, cols);
             }
             IncPlan::TailRows { r, base } => out.append_rows(|rows| {
@@ -500,6 +533,7 @@ impl IncPlan {
                 }
             }),
         }
+        Ok(Vec::new())
     }
 }
 
@@ -817,6 +851,38 @@ mod tests {
             stats.op_counts.get("FUSEDJOIN").map_or(0, |&c| c as u64),
             "every executed FUSEDJOIN pair fused"
         );
+    }
+
+    #[test]
+    fn partitioned_incremental_joins_agree_with_serial_delta() {
+        // With `partition_threshold: 1` every fused join partitions: the
+        // first (naive) execution through `eval_fused_join` and every
+        // later `IncPlan::Join` append through the partitioned delta
+        // path. The closure must stay byte-identical and the stats must
+        // agree with the serial delta run except for the partition
+        // counters themselves.
+        let db = chain(8);
+        let serial = limits(WhileStrategy::Delta);
+        let part = EvalLimits {
+            partition_threshold: 1,
+            threads: 2,
+            ..serial
+        };
+        let (reference, ref_stats) = run_with_stats(&fused_tc_program(), &db, &serial).unwrap();
+        let (out, stats) = run_with_stats(&fused_tc_program(), &db, &part).unwrap();
+        assert_eq!(
+            reference.table_str("TC").unwrap(),
+            out.table_str("TC").unwrap()
+        );
+        assert_eq!(ref_stats.partitioned_joins, 0);
+        assert!(
+            stats.partitioned_joins >= 2,
+            "first naive join plus incremental appends partition: {stats:?}"
+        );
+        assert!(stats.partition_shards >= stats.partitioned_joins);
+        assert_eq!(stats.join_fused, ref_stats.join_fused);
+        assert_eq!(stats.tables_produced, ref_stats.tables_produced);
+        assert_eq!(stats.while_delta_skipped, ref_stats.while_delta_skipped);
     }
 
     #[test]

@@ -64,6 +64,21 @@ pub struct EvalLimits {
     /// the only visible difference is the choice of fresh tag values —
     /// determinacy up to isomorphism, as in §4.1 condition (iv).
     pub parallel_threshold: usize,
+    /// Partition a `FUSEDJOIN` (or its delta-incremental append) across
+    /// the shard pool once the probe side has at least this many rows
+    /// (`probe rows >= threshold`, inclusive; a threshold of 0 behaves
+    /// as 1, since an empty probe has nothing to partition). The
+    /// partitioned kernel is byte-identical to the serial one — pinned
+    /// by the `partitioning_on_and_off_agree` oracle — so the gate is
+    /// purely a cost choice. `usize::MAX` disables partitioning.
+    pub partition_threshold: usize,
+    /// Worker threads in the run's shard pool: both the per-statement
+    /// table fan-out and partitioned joins draw from this one pool. `0`
+    /// (the default) detects `available_parallelism` at first use. Set
+    /// it explicitly when multiplexing many governed runs in one
+    /// process, so N concurrent runs don't spawn N × core-count
+    /// threads.
+    pub threads: usize,
     /// `while` loop evaluation strategy.
     pub while_strategy: WhileStrategy,
     /// Observability level: `Off` (no timing), `Counters` (per-op stats,
@@ -80,6 +95,8 @@ impl Default for EvalLimits {
             max_tables: 100_000,
             max_cells: 1 << 28,
             parallel_threshold: 64,
+            partition_threshold: 1 << 16,
+            threads: 0,
             while_strategy: WhileStrategy::default(),
             trace: TraceLevel::default(),
         }
@@ -117,6 +134,13 @@ pub struct EvalStats {
     /// Jobs dispatched to the shard pool (statements whose matches
     /// reached [`EvalLimits::parallel_threshold`]).
     pub shard_jobs: usize,
+    /// `FUSEDJOIN` evaluations (naive or delta-incremental) that ran the
+    /// partition-parallel kernel because the probe side reached
+    /// [`EvalLimits::partition_threshold`].
+    pub partitioned_joins: usize,
+    /// Partitions fanned out across all partitioned joins (each join
+    /// contributes its shard count, clamped to its probe rows).
+    pub partition_shards: usize,
     /// Body statements skipped by the delta `while` strategy because
     /// neither their inputs nor their own output changed since their last
     /// execution.
@@ -223,7 +247,7 @@ pub fn run_governed_traced(
     let cow_base = tabular_core::stats::cow_copies();
     let mut state = db.snapshot();
     let mut metrics = Metrics::new(limits.trace);
-    let mut pool = LazyPool::new();
+    let mut pool = LazyPool::new(limits.threads);
     let start = Instant::now();
     let cx = Exec { limits, gov: &gov };
     let outcome = run_statements(&program.statements, &mut state, cx, &mut metrics, &mut pool);
@@ -473,8 +497,11 @@ pub(crate) fn compute_results(
                 let shards = pool.get().threads().min(work.len());
                 let chunk = work.len().div_ceil(shards);
                 let chunks: Vec<&[(&Table, Bindings, Symbol)]> = work.chunks(chunk).collect();
-                // Per-shard result slot: (tables, fusion counters, wall ns).
-                type ShardSlot = Option<(Result<Vec<Table>>, FusionCounts, u128)>;
+                // Per-shard result slot: (tables, fusion counters, the
+                // job's wall time in microseconds — the unit
+                // `Metrics::shard_span` records into the trace).
+                type ShardWallMicros = u128;
+                type ShardSlot = Option<(Result<Vec<Table>>, FusionCounts, ShardWallMicros)>;
                 let mut slots: Vec<ShardSlot> = vec![None; chunks.len()];
                 let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
                     .iter()
@@ -551,7 +578,7 @@ pub(crate) fn compute_results(
                         OpKind::Intersect => ops::intersect(t1, t2, target),
                         OpKind::Product => ops::product(t1, t2, target),
                         OpKind::FusedJoin { a: pa, b: pb } => {
-                            eval_fused_join(t1, t2, pa, pb, target, &b2, limits, metrics)?
+                            eval_fused_join(t1, t2, pa, pb, target, &b2, cx, metrics, pool)?
                         }
                         OpKind::ClassicalUnion => ops::classical_union(t1, t2, target),
                         _ => unreachable!("binary dispatch"),
@@ -612,13 +639,43 @@ fn eval_fused_join(
     pb: &crate::param::Param,
     target: Symbol,
     bindings: &Bindings,
-    limits: &EvalLimits,
+    cx: Exec<'_>,
     metrics: &mut Metrics,
+    pool: &mut LazyPool,
 ) -> Result<Table> {
+    let limits = cx.limits;
     if let (Some(a), Some(b)) = (pa.as_ground(), pb.as_ground()) {
         if let Some(cols) = ops::fusable_join_cols(t1, t2, a, b) {
             metrics.stats.join_fused += 1;
             metrics.note_fusion("fused-join");
+            if t1.height() >= limits.partition_threshold.max(1) {
+                // Partition-parallel kernel: byte-identical output, but
+                // the governor is charged per-partition *during* the
+                // join (admission before the buffer grows), so record
+                // what was already charged and let `check_results`
+                // charge only the remainder — cumulative charges stay
+                // identical to the serial path.
+                let pool = pool.get();
+                let gov = cx.gov;
+                let mut precharged = 0usize;
+                let (out, report) = ops::join_partitioned(
+                    t1,
+                    t2,
+                    cols,
+                    target,
+                    pool,
+                    pool.threads(),
+                    &|| gov.poll(),
+                    &mut |cells| {
+                        gov.charge_cells(cells)?;
+                        precharged += cells;
+                        Ok(())
+                    },
+                )?;
+                metrics.note_partitioned(&report);
+                metrics.precharge(precharged);
+                return Ok(out);
+            }
             return Ok(ops::join(t1, t2, cols, target));
         }
     }
@@ -724,7 +781,10 @@ fn eval_fused_restructure(
 /// run cell budget. Charging happens once per statement on the
 /// evaluating thread, after the per-table checks, so the cumulative
 /// total — and therefore the budget trip point — is deterministic
-/// across strategies and shard configurations.
+/// across strategies and shard configurations. Cells a partitioned join
+/// already charged mid-statement (its per-partition admission control)
+/// are subtracted here, so the statement's cumulative charge is
+/// identical with partitioning on or off.
 pub(crate) fn check_results(results: &[Table], cx: Exec<'_>, metrics: &mut Metrics) -> Result<()> {
     metrics.stats.tables_produced += results.len();
     let mut total = 0usize;
@@ -740,7 +800,8 @@ pub(crate) fn check_results(results: &[Table], cx: Exec<'_>, metrics: &mut Metri
             });
         }
     }
-    cx.gov.charge_cells(total)?;
+    let precharged = metrics.take_precharged();
+    cx.gov.charge_cells(total.saturating_sub(precharged))?;
     metrics.note_output(total);
     Ok(())
 }
@@ -1225,6 +1286,129 @@ mod tests {
         );
         let (_, below) = run_with_stats(&p, &mk(threshold - 1), &l).unwrap();
         assert_eq!(below.shard_jobs, 0, "threshold - 1 matches stay serial");
+    }
+
+    #[test]
+    fn parallel_threshold_is_floored_at_two() {
+        // Pin for the `.max(2)` clamp in `compute_results` (and its doc
+        // on `EvalLimits::parallel_threshold`): thresholds of 0 and 1
+        // behave as 2, because a single matching table leaves nothing to
+        // fan out — it must stay serial, while two matches dispatch.
+        let mk = |n: usize| {
+            Database::from_tables(
+                (0..n).map(|i| Table::relational(&format!("T{i}"), &["A"], &[&["v"]])),
+            )
+        };
+        let p = crate::parser::parse("*1 <- TRANSPOSE(*1)").unwrap();
+        for threshold in [0, 1] {
+            let l = EvalLimits {
+                parallel_threshold: threshold,
+                ..EvalLimits::default()
+            };
+            let (_, one) = run_with_stats(&p, &mk(1), &l).unwrap();
+            assert_eq!(
+                one.shard_jobs, 0,
+                "threshold {threshold}: a single match stays serial"
+            );
+            let (_, two) = run_with_stats(&p, &mk(2), &l).unwrap();
+            assert!(
+                two.shard_jobs > 0,
+                "threshold {threshold}: two matches fan out"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_limit_one_evaluates_sharded_statements_correctly() {
+        // `threads: 1` still takes the sharded code path (jobs dispatch
+        // to the pool) but with a single worker — the pool honors the
+        // knob instead of spawning `available_parallelism` threads.
+        let db = Database::from_tables(
+            (0..6).map(|i| Table::relational(&format!("T{i}"), &["A"], &[&["v"]])),
+        );
+        let p = crate::parser::parse("*1 <- TRANSPOSE(*1)").unwrap();
+        let (reference, base) = run_with_stats(&p, &db, &EvalLimits::default()).unwrap();
+        assert_eq!(base.shard_jobs, 0, "6 < default threshold stays serial");
+        let l = EvalLimits {
+            parallel_threshold: 2,
+            threads: 1,
+            ..EvalLimits::default()
+        };
+        let (out, stats) = run_with_stats(&p, &db, &l).unwrap();
+        assert!(stats.shard_jobs > 0, "sharded path taken: {stats:?}");
+        assert!(out.equiv(&reference));
+    }
+
+    #[test]
+    fn partitioned_fused_join_is_byte_identical_with_equal_charges() {
+        let table = |name: &str, attrs: [&str; 2], rows: Vec<[String; 2]>| {
+            let rows: Vec<Vec<&str>> = rows
+                .iter()
+                .map(|r| r.iter().map(String::as_str).collect())
+                .collect();
+            let rows: Vec<&[&str]> = rows.iter().map(Vec::as_slice).collect();
+            Table::relational(name, &attrs, &rows)
+        };
+        // Duplicate keys on both sides so partitions carry uneven match
+        // counts; 12 probe rows so `partition_threshold: 1` engages.
+        let db = Database::from_tables([
+            table(
+                "R",
+                ["A", "B"],
+                (0..12)
+                    .map(|i| [format!("v{i}"), format!("k{}", i % 5)])
+                    .collect(),
+            ),
+            table(
+                "S",
+                ["C", "D"],
+                (0..7)
+                    .map(|i| [format!("k{}", i % 3), format!("w{i}")])
+                    .collect(),
+            ),
+        ]);
+        let p = crate::parser::parse("T <- FUSEDJOIN[B = C](R, S)").unwrap();
+        let serial_limits = EvalLimits {
+            trace: TraceLevel::Spans,
+            ..EvalLimits::default()
+        };
+        let part_limits = EvalLimits {
+            partition_threshold: 1,
+            threads: 2,
+            trace: TraceLevel::Spans,
+            ..EvalLimits::default()
+        };
+        let (reference, ref_stats, _) = run_traced(&p, &db, &serial_limits).unwrap();
+        let (out, stats, trace) = run_traced(&p, &db, &part_limits).unwrap();
+        let t = reference.table_str("T").unwrap();
+        assert_eq!(t, out.table_str("T").unwrap(), "byte-identical output");
+        assert_eq!(ref_stats.partitioned_joins, 0);
+        assert_eq!(stats.partitioned_joins, 1);
+        assert!(stats.partition_shards >= 1);
+        // One Partition span per shard, carrying the fan-out: partition
+        // indices and per-partition output rows that sum to the join's.
+        let partitions: Vec<_> = trace
+            .spans()
+            .filter(|s| s.kind == SpanKind::Partition)
+            .collect();
+        assert_eq!(partitions.len(), stats.partition_shards);
+        assert!(partitions.iter().all(|s| s.shard.is_some()));
+        assert_eq!(
+            partitions.iter().map(|s| s.matched).sum::<usize>(),
+            t.height()
+        );
+        // The cumulative governor charge is identical with partitioning
+        // on or off: a budget of exactly the produced cells passes both
+        // ways, one cell less trips both ways (per-partition charges
+        // plus the remainder equal the serial statement charge).
+        let t_cells = (t.height() + 1) * (t.width() + 1);
+        for l in [&serial_limits, &part_limits] {
+            let ok = Budget::from_limits(l).with_cell_budget(t_cells);
+            run_governed(&p, &db, &ok).unwrap();
+            let trip = Budget::from_limits(l).with_cell_budget(t_cells - 1);
+            let err = run_governed(&p, &db, &trip).unwrap_err();
+            assert!(matches!(err, AlgebraError::BudgetExceeded { .. }), "{err}");
+        }
     }
 
     #[test]

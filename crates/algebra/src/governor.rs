@@ -138,6 +138,14 @@ impl Budget {
     /// deadline are divided evenly, while the cancellation token is
     /// *shared* — cancelling the parent budget stops every site, and a
     /// site that trips can cancel its siblings through the same token.
+    ///
+    /// The per-site cell budget is the *floor* of the division, so the
+    /// site budgets never sum past the parent's: a remainder of
+    /// `max_run_cells % sites` cells stays unadmitted (conservative),
+    /// and with more sites than budgeted cells every site gets a
+    /// zero-cell budget and trips on its first charge rather than the
+    /// sites collectively admitting `sites` cells against a smaller
+    /// parent budget.
     pub fn split(&self, sites: usize) -> Budget {
         let n = sites.max(1);
         Budget {
@@ -146,7 +154,7 @@ impl Budget {
             max_run_cells: if self.max_run_cells == usize::MAX {
                 usize::MAX
             } else {
-                (self.max_run_cells / n).max(1)
+                self.max_run_cells / n
             },
             cancel: self.cancel.clone(),
         }
@@ -314,6 +322,28 @@ mod tests {
         let unlimited = Budget::default().split(8);
         assert_eq!(unlimited.max_run_cells, usize::MAX);
         assert_eq!(unlimited.deadline, None);
+    }
+
+    #[test]
+    fn split_site_budgets_never_sum_past_the_parent() {
+        // Regression: `(cells / n).max(1)` admitted one cell per site, so
+        // 8 sites against a 5-cell parent could admit 8 cells in total.
+        for (cells, sites) in [(5, 8), (1, 2), (7, 3), (1000, 3), (0, 4)] {
+            let parent = Budget::default().with_cell_budget(cells);
+            let site = parent.split(sites);
+            assert!(
+                site.max_run_cells.saturating_mul(sites) <= cells,
+                "cells={cells} sites={sites} admits {} per site",
+                site.max_run_cells
+            );
+        }
+        // With more sites than cells, a site's budget is zero and its
+        // governor trips on the very first charge.
+        let site = Budget::default().with_cell_budget(5).split(8);
+        assert_eq!(site.max_run_cells, 0);
+        let gov = Governor::new(&site);
+        let err = gov.charge_cells(1).unwrap_err();
+        assert!(err.to_string().contains("cell budget"), "{err}");
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub(crate) struct Metrics {
     trace: Trace,
     stack: Vec<Pending>,
     next_id: u64,
+    /// Cells the current statement's partitioned joins already charged
+    /// against the governor (per-partition admission control);
+    /// `check_results` takes this and charges only the remainder.
+    precharged_cells: usize,
 }
 
 impl Metrics {
@@ -58,6 +62,33 @@ impl Metrics {
             trace: Trace::new(),
             stack: Vec::new(),
             next_id: 0,
+            precharged_cells: 0,
+        }
+    }
+
+    /// Note cells a partitioned join charged mid-statement, so the
+    /// statement-level charge in `check_results` can subtract them.
+    pub(crate) fn precharge(&mut self, cells: usize) {
+        self.precharged_cells += cells;
+    }
+
+    /// Take (and reset) the cells precharged during the current
+    /// statement.
+    pub(crate) fn take_precharged(&mut self) -> usize {
+        std::mem::take(&mut self.precharged_cells)
+    }
+
+    /// Account one partitioned join: bump the stats counters and record
+    /// one partition span per shard under the open statement span. A
+    /// no-op on an empty report (the join took the serial path).
+    pub(crate) fn note_partitioned(&mut self, report: &[crate::ops::PartitionShard]) {
+        if report.is_empty() {
+            return;
+        }
+        self.stats.partitioned_joins += 1;
+        self.stats.partition_shards += report.len();
+        for (shard, p) in report.iter().enumerate() {
+            self.partition_span(shard, p.rows, p.wall_micros);
         }
     }
 
@@ -168,8 +199,9 @@ impl Metrics {
     }
 
     /// Record a completed shard-pool job as a leaf under the open
-    /// statement span.
-    pub(crate) fn shard_span(&mut self, shard: usize, tables: usize, micros: u128) {
+    /// statement span. `wall_micros` is the job's own wall time in
+    /// microseconds, measured on the worker that ran it.
+    pub(crate) fn shard_span(&mut self, shard: usize, tables: usize, wall_micros: u128) {
         if !self.spans_enabled() {
             return;
         }
@@ -183,7 +215,33 @@ impl Metrics {
             matched: tables,
             input_cells: 0,
             output_cells: 0,
-            micros,
+            micros: wall_micros,
+            cow_copies: 0,
+            decision: DeltaDecision::Executed,
+            fusion: None,
+            shard: Some(shard),
+            iteration: None,
+        });
+    }
+
+    /// Record one partition of a partitioned join as a leaf under the
+    /// open statement span: `rows` output rows written, `wall_micros`
+    /// the partition's count + scatter jobs' wall time in microseconds.
+    pub(crate) fn partition_span(&mut self, shard: usize, rows: usize, wall_micros: u128) {
+        if !self.spans_enabled() {
+            return;
+        }
+        let parent = self.stack.last().map(|p| p.id);
+        let id = self.alloc_id();
+        self.trace.push(Span {
+            id,
+            parent,
+            kind: SpanKind::Partition,
+            op: "partition",
+            matched: rows,
+            input_cells: 0,
+            output_cells: 0,
+            micros: wall_micros,
             cow_copies: 0,
             decision: DeltaDecision::Executed,
             fusion: None,
@@ -305,12 +363,13 @@ mod tests {
         m.note_matched(2, 10);
         m.note_output(6);
         m.shard_span(0, 1, 2);
+        m.partition_span(1, 5, 3);
         m.end(7, DeltaDecision::Executed);
         m.skip_span("SELECT", 1, 4);
         m.end(20, DeltaDecision::Executed);
         let (_, trace) = m.into_parts();
         let spans: Vec<_> = trace.spans().collect();
-        assert_eq!(spans.len(), 4);
+        assert_eq!(spans.len(), 5);
         let shard = spans.iter().find(|s| s.kind == SpanKind::Shard).unwrap();
         let product = spans.iter().find(|s| s.op == "PRODUCT").unwrap();
         let skipped = spans.iter().find(|s| s.op == "SELECT").unwrap();
@@ -318,6 +377,20 @@ mod tests {
             .iter()
             .find(|s| s.kind == SpanKind::WhileIter)
             .unwrap();
+        // `Span::micros` is wall time in MICROseconds on every span kind:
+        // the value handed to `shard_span`/`partition_span` lands
+        // unscaled in the span's µs field (the jobs store
+        // `elapsed().as_micros()`, not nanoseconds — regression for a
+        // comment that claimed "wall ns").
+        assert_eq!(shard.micros, 2);
+        let partition = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Partition)
+            .unwrap();
+        assert_eq!(partition.micros, 3);
+        assert_eq!(partition.parent, Some(product.id));
+        assert_eq!(partition.matched, 5, "partition spans carry row counts");
+        assert_eq!(partition.shard, Some(1));
         assert_eq!(shard.parent, Some(product.id));
         assert_eq!(product.parent, Some(iter.id));
         assert_eq!(skipped.parent, Some(iter.id));

@@ -52,6 +52,11 @@ pub enum SpanKind {
     /// One shard-pool job of a parallel statement (child of the
     /// statement's span).
     Shard,
+    /// One partition of a partition-parallel join (child of the
+    /// statement's span); `matched` carries the partition's output rows
+    /// and `shard` its partition index, recording the fan-out of a
+    /// single large join across the pool.
+    Partition,
 }
 
 impl SpanKind {
@@ -60,6 +65,7 @@ impl SpanKind {
             SpanKind::Assign => "assign",
             SpanKind::WhileIter => "while-iter",
             SpanKind::Shard => "shard",
+            SpanKind::Partition => "partition",
         }
     }
 }
@@ -105,10 +111,12 @@ pub struct Span {
     /// What kind of work this span covers.
     pub kind: SpanKind,
     /// Operation keyword for assignments; `"while"` for iterations,
-    /// `"shard"` for pool jobs.
+    /// `"shard"` for pool jobs, `"partition"` for partitioned-join
+    /// partitions.
     pub op: &'static str,
     /// Matched argument combinations (assignments), tables handled
-    /// (shard jobs), or 0 (iterations).
+    /// (shard jobs), output rows written (partitions), or 0
+    /// (iterations).
     pub matched: usize,
     /// Total cells of the matched input tables (only populated at
     /// [`TraceLevel::Spans`]; the cell convention matches the
@@ -133,7 +141,8 @@ pub struct Span {
     /// across pairs record the fallback, the conservative reading).
     /// `None` for every other span.
     pub fusion: Option<&'static str>,
-    /// Shard id for [`SpanKind::Shard`] spans.
+    /// Shard id for [`SpanKind::Shard`] spans; partition index for
+    /// [`SpanKind::Partition`] spans.
     pub shard: Option<usize>,
     /// 1-based iteration number for [`SpanKind::WhileIter`] spans.
     pub iteration: Option<usize>,

@@ -28,7 +28,10 @@ pub mod transpose;
 pub use dual::{
     col_group, col_merge, col_project, col_select, col_select_const, col_split, dualize,
 };
-pub use join::{count_join_matches, fusable_join_cols, join, join_append, JoinCols};
+pub use join::{
+    count_join_matches, fusable_join_cols, join, join_append, join_append_partitioned,
+    join_partitioned, JoinCols, PartitionShard,
+};
 pub use redundancy::{classical_union, cleanup, purge};
 pub use restructure::{collapse, group, merge, split};
 pub use restructure_fused::{fused_restructure, grouped_cells, RestructureSpec};

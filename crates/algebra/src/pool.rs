@@ -132,21 +132,37 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
 
 /// A pool that is built on first use, so runs that never cross the
 /// parallelism threshold spawn no threads at all.
+///
+/// The worker count is fixed at construction from
+/// [`EvalLimits::threads`](crate::EvalLimits::threads) (`0` = detect
+/// with `available_parallelism`), so N concurrent governed runs spawn
+/// N × *limit* workers instead of N × core-count — the admission knob a
+/// multi-tenant server needs.
 #[derive(Default)]
 pub(crate) struct LazyPool {
+    threads: usize,
     pool: Option<ShardPool>,
 }
 
 impl LazyPool {
-    pub(crate) fn new() -> LazyPool {
-        LazyPool::default()
+    /// `threads == 0` means "detect at first use".
+    pub(crate) fn new(threads: usize) -> LazyPool {
+        LazyPool {
+            threads,
+            pool: None,
+        }
     }
 
     pub(crate) fn get(&mut self) -> &ShardPool {
+        let requested = self.threads;
         self.pool.get_or_insert_with(|| {
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1);
+            let threads = if requested == 0 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            } else {
+                requested
+            };
             ShardPool::new(threads)
         })
     }
@@ -170,6 +186,17 @@ mod tests {
             .collect();
         pool.scoped(jobs);
         assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn lazy_pool_honors_the_requested_thread_count() {
+        let mut lazy = LazyPool::new(1);
+        assert_eq!(lazy.get().threads(), 1);
+        let mut lazy = LazyPool::new(3);
+        assert_eq!(lazy.get().threads(), 3);
+        // 0 = detect; whatever it resolves to, at least one worker.
+        let mut lazy = LazyPool::new(0);
+        assert!(lazy.get().threads() >= 1);
     }
 
     #[test]

@@ -322,6 +322,16 @@ fn render_trace_line(s: &Span, depth: usize, out: &mut String) {
             )
             .unwrap();
         }
+        SpanKind::Partition => {
+            writeln!(
+                out,
+                "partition {} rows={} [{} µs]",
+                s.shard.unwrap_or(0),
+                s.matched,
+                s.micros
+            )
+            .unwrap();
+        }
         SpanKind::Assign => {
             // Join-fusion decision, e.g. `FUSEDJOIN (fused-join)` — shows
             // why a FUSEDJOIN statement did or did not run the hash path.

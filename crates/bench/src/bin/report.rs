@@ -54,6 +54,33 @@ struct RestructureSummary {
     overhead_x: f64,
 }
 
+/// The partition-parallel join measurement, pinned in `BENCH_7.json`.
+///
+/// The serial and partitioned kernels produce byte-identical output, so
+/// the interesting numbers are wall times. On a 1-core host the
+/// partitioned *wall* is pure overhead; the honest parallel figure is a
+/// critical-path projection from per-shard busy times measured inside
+/// the jobs (a 1-thread pool serializes the shards, so
+/// `wall − Σ busy` is exactly the serial prelude: header, index build,
+/// exact reserve, governor charges). All samples are best-of-3: on a
+/// single-vCPU host a stolen time slice inflates any one sample by
+/// tens of milliseconds, and the minimum is the closest to true cost.
+struct PartitionSummary {
+    probe_rows: usize,
+    build_rows: usize,
+    out_rows: usize,
+    shards: usize,
+    host_cores: usize,
+    serial_us: u128,
+    partitioned_wall_us: u128,
+    shard_busy_us: Vec<u128>,
+    prelude_us: u128,
+    /// `prelude + max(shard busy)`: the 8-core wall-clock projection.
+    critical_path_us: u128,
+    /// `serial_us / critical_path_us`.
+    speedup_8core: f64,
+}
+
 fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
     let start = Instant::now();
     let out = f();
@@ -690,6 +717,119 @@ fn main() {
         });
     }
 
+    // ------------------------------------------------------------------
+    // Partition-parallel join: a 1M-row probe against a 10k-row build
+    // through the fused hash kernel, serial vs hash-partitioned across
+    // 8 shards. Output is byte-identical by construction; the pinned
+    // claim is the speedup. Per-shard busy time is measured inside each
+    // job, so running the 8 shards on a deliberately 1-thread pool
+    // serializes them and isolates the serial prelude (index build +
+    // exact resize + charges) as `wall − Σ busy`; the 8-core projection
+    // is then `prelude + max(shard busy)`.
+    // ------------------------------------------------------------------
+    let partition: PartitionSummary;
+    {
+        use tabular_algebra::ops::{self as aops, JoinCols};
+        use tabular_algebra::pool::ShardPool;
+
+        const PROBE_ROWS: usize = 1_000_000;
+        const BUILD_ROWS: usize = 10_000;
+        const SHARDS: usize = 8;
+
+        let keys: Vec<Symbol> = (0..BUILD_ROWS)
+            .map(|j| Symbol::value(&format!("k{j}")))
+            .collect();
+        let payload = Symbol::value("p");
+        let probe_rows: Vec<Vec<Symbol>> = (0..PROBE_ROWS)
+            .map(|i| vec![payload, keys[i % BUILD_ROWS]])
+            .collect();
+        let build_rows: Vec<Vec<Symbol>> = keys.iter().map(|&k| vec![k, payload]).collect();
+        let probe = tabular_core::Table::relational_syms(
+            Symbol::name("L"),
+            &[Symbol::name("A"), Symbol::name("B")],
+            &probe_rows,
+        );
+        let build = tabular_core::Table::relational_syms(
+            Symbol::name("R"),
+            &[Symbol::name("C"), Symbol::name("D")],
+            &build_rows,
+        );
+        drop((probe_rows, build_rows));
+        let cols = JoinCols { left: 2, right: 1 };
+        let name = Symbol::name("T");
+
+        // Best-of-3 throughout this section: on a single-vCPU host a
+        // descheduled thread inflates any wall-clock sample by tens of
+        // milliseconds, so the minimum — not the median — is the sample
+        // closest to the true cost.
+        let best_of = |f: &dyn Fn() -> u128| (0..3).map(|_| f()).min().unwrap();
+        let serial_us = best_of(&|| timed(|| aops::join(&probe, &build, cols, name)).1);
+        let serial = aops::join(&probe, &build, cols, name);
+
+        let pool = ShardPool::new(1); // serialize shards to isolate busy times
+        let mut runs: Vec<(u128, Vec<aops::PartitionShard>, tabular_core::Table)> = (0..3)
+            .map(|_| {
+                let ((out, report), wall) = timed(|| {
+                    aops::join_partitioned(
+                        &probe,
+                        &build,
+                        cols,
+                        name,
+                        &pool,
+                        SHARDS,
+                        &|| Ok(()),
+                        &mut |_| Ok(()),
+                    )
+                    .unwrap()
+                });
+                (wall, report, out)
+            })
+            .collect();
+        // Keep the run whose projected critical path (prelude + slowest
+        // shard) is smallest — one stolen time slice during any single
+        // shard's busy window would otherwise dominate the projection.
+        let critical = |(wall, report, _): &(u128, Vec<aops::PartitionShard>, _)| {
+            let busy_total: u128 = report.iter().map(|p| p.wall_micros).sum();
+            let busy_max = report.iter().map(|p| p.wall_micros).max().unwrap_or(0);
+            wall.saturating_sub(busy_total) + busy_max
+        };
+        let best = (0..runs.len()).min_by_key(|&i| critical(&runs[i])).unwrap();
+        let (partitioned_wall_us, report, out) = runs.swap_remove(best);
+
+        let shard_busy_us: Vec<u128> = report.iter().map(|p| p.wall_micros).collect();
+        let busy_total: u128 = shard_busy_us.iter().sum();
+        let busy_max: u128 = shard_busy_us.iter().copied().max().unwrap_or(0);
+        let prelude_us = partitioned_wall_us.saturating_sub(busy_total);
+        let critical_path_us = (prelude_us + busy_max).max(1);
+        let speedup_8core = serial_us as f64 / critical_path_us as f64;
+        let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+        let same = out == serial;
+        rows.push(Row {
+            id: "partition",
+            what: format!(
+                "join 1M×10k, 8 shards: serial {serial_us}µs, critical path \
+                 {critical_path_us}µs (prelude {prelude_us}µs + max shard {busy_max}µs) \
+                 → {speedup_8core:.1}× on 8 cores"
+            ),
+            outcome: verdict(same && speedup_8core >= 3.0),
+            micros: critical_path_us,
+        });
+        partition = PartitionSummary {
+            probe_rows: PROBE_ROWS,
+            build_rows: BUILD_ROWS,
+            out_rows: out.height(),
+            shards: report.len(),
+            host_cores,
+            serial_us,
+            partitioned_wall_us,
+            shard_busy_us,
+            prelude_us,
+            critical_path_us,
+            speedup_8core,
+        };
+    }
+
     // Sanity footer: the set-new blow-up measured once (guarded).
     {
         let t = tabular_core::Table::relational("R", &["A"], &[&["1"], &["2"], &["3"], &["4"]]);
@@ -777,6 +917,46 @@ fn main() {
             "wrote BENCH_6.json (join {speedup:.1}×, restructure {restructure_speedup:.1}× \
              fused speedup, pivot 128×32 at {:.1}× of baseline)",
             restructure.overhead_x
+        );
+    }
+    // Partition-parallel join artifact: its own file so the claim (and
+    // the measurement method) stay pinned independently of BENCH_6.
+    let shard_json: Vec<String> = partition
+        .shard_busy_us
+        .iter()
+        .map(u128::to_string)
+        .collect();
+    let json7 = format!(
+        "{{\n  \"bench\": \"partitioned_join_1m_x_10k\",\n  \
+         \"probe_rows\": {},\n  \"build_rows\": {},\n  \"out_rows\": {},\n  \
+         \"shards\": {},\n  \"host_cores\": {},\n  \
+         \"serial_us\": {},\n  \"partitioned_wall_1thread_us\": {},\n  \
+         \"shard_busy_us\": [{}],\n  \"prelude_us\": {},\n  \
+         \"critical_path_us\": {},\n  \"speedup_8core\": {:.2},\n  \
+         \"method\": \"per-shard busy times measured inside jobs on a \
+         1-thread pool (shards serialized); prelude = wall - sum(busy) = \
+         index build + exact reserve + charges; 8-core projection = \
+         prelude + max(shard busy); best-of-3 runs to filter vCPU steal; \
+         output asserted byte-identical to the serial kernel\"\n}}\n",
+        partition.probe_rows,
+        partition.build_rows,
+        partition.out_rows,
+        partition.shards,
+        partition.host_cores,
+        partition.serial_us,
+        partition.partitioned_wall_us,
+        shard_json.join(", "),
+        partition.prelude_us,
+        partition.critical_path_us,
+        partition.speedup_8core,
+    );
+    if let Err(e) = std::fs::write("BENCH_7.json", &json7) {
+        eprintln!("could not write BENCH_7.json: {e}");
+    } else {
+        println!(
+            "wrote BENCH_7.json (partitioned join {:.1}× projected on 8 cores, \
+             prelude {}µs, critical path {}µs)",
+            partition.speedup_8core, partition.prelude_us, partition.critical_path_us
         );
     }
     assert_eq!(failed, 0, "experiment regressions");

@@ -498,6 +498,43 @@ impl Table {
         out
     }
 
+    /// Append `rows` data rows in a single exact-size extension and hand
+    /// the *uninitialized* fresh storage to `f` as one mutable slice of
+    /// `rows * (width + 1)` [`MaybeUninit`] cells — each consecutive
+    /// `width + 1` chunk is one storage row, attribute first. Splitting
+    /// the slice into disjoint row ranges (`split_at_mut`) lets
+    /// independent workers write their ranges in parallel. Unlike
+    /// [`Table::append_rows`], which grows the buffer geometrically as
+    /// rows arrive, this pays the copy-on-write materialization and
+    /// exactly one allocation up front — and, unlike a ⊥-prefilled
+    /// `resize`, never serially memsets storage the caller is about to
+    /// overwrite anyway (on large joins that memset *is* the serial
+    /// prelude). The new length is committed only after `f` returns, so
+    /// a panicking `f` leaves the table's contents unchanged.
+    ///
+    /// # Safety
+    ///
+    /// `f` must initialize **every** cell of the slice before returning
+    /// normally; returning with any cell uninitialized commits
+    /// uninitialized memory as table contents, which is undefined
+    /// behavior.
+    pub unsafe fn append_rows_uninit<R>(
+        &mut self,
+        rows: usize,
+        f: impl FnOnce(&mut [std::mem::MaybeUninit<Symbol>]) -> R,
+    ) -> R {
+        let n = rows * (self.width + 1);
+        let cells = self.cells_mut();
+        let start = cells.len();
+        cells.reserve_exact(n);
+        let out = f(&mut cells.spare_capacity_mut()[..n]);
+        // SAFETY: the capacity holds `start + n` cells and the contract
+        // requires `f` to have initialized all `n` new ones.
+        unsafe { cells.set_len(start + n) };
+        self.height += rows;
+        out
+    }
+
     /// Append a data column: `col[0]` is the column attribute, `col[1..]`
     /// the entries top to bottom. Length must be `height + 1`.
     pub fn push_col(&mut self, col: Vec<Symbol>) {
@@ -841,6 +878,36 @@ mod tests {
         assert_eq!(t.get(1, 3), Symbol::value("50"));
         assert_eq!(t.height(), 3);
         assert_eq!(t.width(), 3);
+    }
+
+    #[test]
+    fn append_rows_uninit_extends_exactly_and_matches_push_row() {
+        let mut a = sales();
+        let mut b = sales();
+        let row = [
+            Symbol::Null,
+            Symbol::value("nuts"),
+            Symbol::value("east"),
+            Symbol::value("80"),
+        ];
+        b.push_row_slice(&row);
+        b.push_row_slice(&row);
+        // SAFETY: the closure writes every cell of the extension.
+        unsafe {
+            a.append_rows_uninit(2, |fresh| {
+                assert_eq!(fresh.len(), 2 * (3 + 1));
+                for (cell, &v) in fresh.iter_mut().zip(row.iter().cycle()) {
+                    cell.write(v);
+                }
+            });
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.height(), 5);
+        // SAFETY: zero rows — an empty slice is trivially initialized.
+        unsafe {
+            a.append_rows_uninit(0, |fresh| assert!(fresh.is_empty()));
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

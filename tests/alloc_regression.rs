@@ -350,4 +350,69 @@ fn snapshots_allocate_nothing_and_copy_no_cell_buffers() {
         "the staged pipeline materializes the grouped intermediate the \
          kernel avoids (staged {staged_bytes} vs fused {fused_bytes} bytes)"
     );
+
+    // ------------------------------------------------------------------
+    // Guard 8: partitioning a join must not raise peak allocation. The
+    // serial kernel grows its output geometrically row by row (the
+    // counting allocator sees every realloc growth delta, which sum to
+    // roughly the final capacity); the partitioned kernel pre-counts
+    // matches per shard and reserves the extension exactly once before
+    // scattering, so with the pool spawned *before* arming, its armed
+    // byte count must come in at or below the serial run's.
+    // ------------------------------------------------------------------
+    use tables_paradigm::algebra::ops;
+    use tables_paradigm::algebra::pool::ShardPool;
+
+    let probe_rows: Vec<Vec<String>> = (0..60_000)
+        .map(|i| vec![format!("p{i}"), format!("k{}", i % 1000)])
+        .collect();
+    let probe_rows: Vec<Vec<&str>> = probe_rows
+        .iter()
+        .map(|r| r.iter().map(String::as_str).collect())
+        .collect();
+    let probe_rows: Vec<&[&str]> = probe_rows.iter().map(Vec::as_slice).collect();
+    let probe = Table::relational("L", &["A", "B"], &probe_rows);
+    let build_rows: Vec<Vec<String>> = (0..1000)
+        .map(|j| vec![format!("k{j}"), format!("s{j}")])
+        .collect();
+    let build_rows: Vec<Vec<&str>> = build_rows
+        .iter()
+        .map(|r| r.iter().map(String::as_str).collect())
+        .collect();
+    let build_rows: Vec<&[&str]> = build_rows.iter().map(Vec::as_slice).collect();
+    let build = Table::relational("R", &["C", "D"], &build_rows);
+    let cols = ops::JoinCols { left: 2, right: 1 };
+    let pool = ShardPool::new(4); // threads up and idle before arming
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    BYTES.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let serial = ops::join(&probe, &build, cols, Symbol::name("T"));
+    ARMED.store(false, Ordering::SeqCst);
+    let serial_bytes = BYTES.load(Ordering::SeqCst);
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    BYTES.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let (partitioned, _report) = ops::join_partitioned(
+        &probe,
+        &build,
+        cols,
+        Symbol::name("T"),
+        &pool,
+        4,
+        &|| Ok(()),
+        &mut |_| Ok(()),
+    )
+    .unwrap();
+    ARMED.store(false, Ordering::SeqCst);
+    let partitioned_bytes = BYTES.load(Ordering::SeqCst);
+
+    assert_eq!(partitioned, serial, "partitioned join output must match");
+    assert!(
+        partitioned_bytes <= serial_bytes,
+        "partitioning must not raise peak allocation: the exact pre-sized \
+         resize should undercut serial geometric growth (partitioned \
+         {partitioned_bytes} vs serial {serial_bytes} bytes)"
+    );
 }

@@ -483,6 +483,107 @@ proptest! {
 }
 
 // ----------------------------------------------------------------------
+// The partitioning oracle: partition-parallel joins on ≡ off
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The partitioning oracle: the partition-parallel join kernel must
+    /// be *byte-identical* to the serial kernel — not merely equivalent —
+    /// under every strategy and shard configuration. The same fused
+    /// program (scratch-staged join chains spliced into the prologue and
+    /// the loop body, then `fuse_joins`) runs under Naive/Delta ×
+    /// serial/sharded × `partition_threshold ∈ {∞, 1}`; because only the
+    /// limits differ, every run must produce the same database (up to
+    /// fresh-tag renumbering for `TUPLENEW` programs) or fail with the
+    /// same error — partitioning materializes exactly the tables the
+    /// serial kernel does, so even `LimitExceeded` trips must agree.
+    #[test]
+    fn partitioning_on_and_off_agree(
+        src in arb_program(),
+        db in arb_input(),
+        (t1, x1, y1) in (0usize..5, 0usize..6, 0usize..6),
+        (a1, b1) in (0usize..4, 0usize..4),
+        (t2, x2, y2) in (0usize..5, 0usize..6, 0usize..6),
+        (a2, b2) in (0usize..4, 0usize..4),
+    ) {
+        use tables_paradigm::algebra::optimize::fuse_joins;
+
+        let mut program = parse(&src).unwrap_or_else(|e| {
+            panic!("generated program must parse: {e}\n{src}")
+        });
+        let head = fusable_chain(2, TARGETS[t1], SOURCES[x1], SOURCES[y1], ATTRS[a1], ATTRS[b1]);
+        program.statements.splice(0..0, head);
+        if let Some(Statement::While { body, .. }) = program
+            .statements
+            .iter_mut()
+            .find(|s| matches!(s, Statement::While { .. }))
+        {
+            let inner =
+                fusable_chain(3, TARGETS[t2], SOURCES[x2], SOURCES[y2], ATTRS[a2], ATTRS[b2]);
+            body.splice(0..0, inner);
+        }
+        let fused = fuse_joins(&program);
+
+        let mut configs = Vec::new();
+        for strategy in [WhileStrategy::Naive, WhileStrategy::Delta] {
+            for parallel in [usize::MAX, 1] {
+                for partition in [usize::MAX, 1] {
+                    configs.push(EvalLimits {
+                        partition_threshold: partition,
+                        threads: 2,
+                        ..limits(strategy, parallel)
+                    });
+                }
+            }
+        }
+        // Baseline: Naive, serial, partitioning off.
+        let baseline = run_traced(&fused, &db, &configs[0]);
+        let expect = baseline.as_ref().ok().map(|(out, _, _)| canonicalize_fresh(&visible(out)));
+        for cfg in &configs[1..] {
+            let label = format!(
+                "{:?}/threshold {}/partition {}",
+                cfg.while_strategy, cfg.parallel_threshold, cfg.partition_threshold
+            );
+            match (&baseline, run_traced(&fused, &db, cfg)) {
+                (Ok(_), Ok((got, stats, _))) => {
+                    prop_assert!(
+                        *expect.as_ref().unwrap() == canonicalize_fresh(&visible(&got)),
+                        "partitioned output diverges under {}\nprogram:\n{}",
+                        label, src
+                    );
+                    if cfg.partition_threshold == usize::MAX {
+                        prop_assert_eq!(
+                            stats.partitioned_joins, 0,
+                            "partitioning engaged though disabled under {}", label
+                        );
+                    }
+                }
+                (Err(expect), Err(got)) => {
+                    prop_assert_eq!(
+                        expect.to_string(),
+                        got.to_string(),
+                        "errors diverge under {} for program:\n{}",
+                        label, src
+                    );
+                }
+                (Ok(_), Err(got)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "baseline succeeded but {label} failed with {got}\nprogram:\n{src}"
+                    )));
+                }
+                (Err(expect), Ok(_)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "baseline failed with {expect} but {label} succeeded\nprogram:\n{src}"
+                    )));
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
 // The restructuring oracle: restructure fusion on ≡ off
 // ----------------------------------------------------------------------
 

@@ -67,6 +67,41 @@ proptest! {
     }
 
     // ------------------------------------------------------------------
+    // Partition-parallel join ≡ serial join, byte for byte.
+    // ------------------------------------------------------------------
+
+    /// `join_partitioned` must equal `join` exactly — header, row order,
+    /// row attributes — on arbitrary messy operands (⊥ keys join ⊥ keys,
+    /// duplicated keys fan out, data in attribute positions) for every
+    /// shard count 1..=8 and pool size, with the per-shard row counts
+    /// summing to the output height.
+    #[test]
+    fn join_partitioned_matches_join_exactly(
+        r in arb_table(),
+        s in arb_table(),
+        kl in 0usize..8,
+        kr in 0usize..8,
+        shards in 1usize..=8,
+        threads in 1usize..=4,
+    ) {
+        use tables_paradigm::algebra::pool::ShardPool;
+        prop_assume!(r.width() >= 1 && s.width() >= 1);
+        let cols = ops::JoinCols {
+            left: 1 + kl % r.width(),
+            right: 1 + kr % s.width(),
+        };
+        let name = Symbol::name("T");
+        let serial = ops::join(&r, &s, cols, name);
+        let pool = ShardPool::new(threads);
+        let (part, report) = ops::join_partitioned(
+            &r, &s, cols, name, &pool, shards, &|| Ok(()), &mut |_| Ok(()),
+        ).unwrap();
+        prop_assert_eq!(&part, &serial, "partitioned join must be byte-identical");
+        prop_assert_eq!(report.iter().map(|p| p.rows).sum::<usize>(), serial.height());
+        prop_assert!(report.len() <= shards);
+    }
+
+    // ------------------------------------------------------------------
     // Storage engine: structural sharing never leaks writes.
     // ------------------------------------------------------------------
 
