@@ -177,6 +177,15 @@ pub struct EvalStats {
     /// mutations of tables whose buffers were shared with a snapshot.
     /// Same measurement caveat as [`EvalStats::snapshots`].
     pub cow_copies: u64,
+    /// Statements of the submitted program removed, replaced, or moved by
+    /// the cost-based planner before execution (`run_planned*` entry
+    /// points only; 0 on unplanned runs). Deterministic in the program
+    /// and catalog, so Naive and Delta agree.
+    pub plans_rewritten: usize,
+    /// Planner rule applications recorded while planning the submitted
+    /// program ([`crate::plan::PlanReport::rules_applied`]; 0 on
+    /// unplanned runs). Deterministic like [`EvalStats::plans_rewritten`].
+    pub plan_rules_applied: usize,
 }
 
 impl EvalStats {
@@ -278,6 +287,104 @@ pub fn run_governed_traced(
             })
         }
         Err(err) => Err(err),
+    }
+}
+
+/// Plan a program against the database with the cost-based planner
+/// ([`crate::plan::plan`]) and evaluate the planned form. Semantically
+/// identical to [`run`] up to fresh-tag renumbering (oracle-checked by
+/// `planner_on_and_off_agree`).
+pub fn run_planned(program: &Program, db: &Database, limits: &EvalLimits) -> Result<Database> {
+    Ok(run_planned_traced(program, db, limits)?.0)
+}
+
+/// Like [`run_planned`], additionally returning statistics (with the
+/// `plans_rewritten` / `plan_rules_applied` counters filled in) and the
+/// structured trace.
+pub fn run_planned_traced(
+    program: &Program,
+    db: &Database,
+    limits: &EvalLimits,
+) -> Result<(Database, EvalStats, Trace)> {
+    let (state, stats, trace, _) =
+        run_planned_governed_traced(program, db, &Budget::from_limits(limits))?;
+    Ok((state, stats, trace))
+}
+
+/// Like [`run_governed`], but planning first.
+pub fn run_planned_governed(program: &Program, db: &Database, budget: &Budget) -> Result<Database> {
+    Ok(run_planned_governed_traced(program, db, budget)?.0)
+}
+
+/// The full planned entry point: plan, evaluate under the budget, and
+/// return the result with statistics, trace, and the planner's decision
+/// report (for EXPLAIN rendering — see `crate::pretty::render_plan`).
+/// The planner counters are stamped into the statistics on success *and*
+/// into the partial statistics carried by a budget trip.
+pub fn run_planned_governed_traced(
+    program: &Program,
+    db: &Database,
+    budget: &Budget,
+) -> Result<(Database, EvalStats, Trace, crate::plan::PlanReport)> {
+    let (planned, report) = crate::plan::plan(program, db);
+    let stamp = |stats: &mut EvalStats| {
+        stats.plans_rewritten = report.statements_rewritten;
+        stats.plan_rules_applied = report.rules_applied();
+    };
+    let spans = budget.limits.trace == crate::obs::TraceLevel::Spans;
+    match run_governed_traced(&planned, db, budget) {
+        Ok((state, mut stats, mut trace)) => {
+            stamp(&mut stats);
+            if spans {
+                prepend_plan_spans(&mut trace, &report);
+            }
+            Ok((state, stats, trace, report))
+        }
+        Err(AlgebraError::BudgetExceeded {
+            resource,
+            spent,
+            limit,
+            mut partial,
+        }) => {
+            stamp(&mut partial.stats);
+            if spans {
+                prepend_plan_spans(&mut partial.trace, &report);
+            }
+            Err(AlgebraError::BudgetExceeded {
+                resource,
+                spent,
+                limit,
+                partial,
+            })
+        }
+        Err(err) => Err(err),
+    }
+}
+
+/// Place one [`crate::obs::SpanKind::Plan`] span per planner decision at
+/// the front of the trace, so EXPLAIN trees lead with what the planner
+/// rewrote. Ids continue past the evaluation spans' (uniqueness is what
+/// the tree builder needs, not ordering).
+fn prepend_plan_spans(trace: &mut Trace, report: &crate::plan::PlanReport) {
+    use crate::obs::trace::{DeltaDecision, Span, SpanKind};
+    let base = trace.spans().map(|s| s.id).max().unwrap_or(0);
+    let est = |v: Option<u128>| v.map_or(0, |c| usize::try_from(c).unwrap_or(usize::MAX));
+    for (k, d) in report.decisions.iter().enumerate().rev() {
+        trace.prepend(Span {
+            id: base + 1 + k as u64,
+            parent: None,
+            kind: SpanKind::Plan,
+            op: d.rule.name(),
+            matched: 0,
+            input_cells: est(d.before_cells),
+            output_cells: est(d.after_cells),
+            micros: 0,
+            cow_copies: 0,
+            decision: DeltaDecision::Executed,
+            fusion: None,
+            shard: None,
+            iteration: None,
+        });
     }
 }
 
@@ -948,6 +1055,53 @@ mod tests {
 
     fn limits() -> EvalLimits {
         EvalLimits::default()
+    }
+
+    #[test]
+    fn planned_traced_run_leads_with_plan_spans() {
+        use crate::obs::SpanKind;
+        // A scratch PRODUCT consumed once by a SELECT: the planner fuses
+        // it, and the traced run's span tree starts with the decision.
+        let s = Symbol::fresh_name();
+        let p = Program::new()
+            .assign(
+                Param::sym(s),
+                OpKind::Product,
+                vec![Param::name("R"), Param::name("T")],
+            )
+            .assign(
+                Param::name("Out"),
+                OpKind::Select {
+                    a: Param::name("A"),
+                    b: Param::name("C"),
+                },
+                vec![Param::sym(s)],
+            );
+        let db = Database::from_tables([
+            Table::relational("R", &["A", "B"], &[&["1", "x"], &["2", "y"]]),
+            Table::relational("T", &["C", "D"], &[&["1", "u"]]),
+        ]);
+        let limits = EvalLimits {
+            trace: TraceLevel::Spans,
+            ..EvalLimits::default()
+        };
+        let (out, stats, trace) = run_planned_traced(&p, &db, &limits).unwrap();
+        assert!(out.table_str("Out").is_some());
+        assert_eq!(stats.plan_rules_applied, 1);
+        assert_eq!(stats.plans_rewritten, 2);
+        let first = trace.spans().next().expect("trace nonempty");
+        assert_eq!(first.kind, SpanKind::Plan);
+        assert_eq!(first.op, "fuse-join");
+        assert!(first.input_cells > first.output_cells, "estimates carried");
+        // Plan spans are roots and never double-count into the per-op
+        // reconciliation, which only sums assignment spans.
+        assert_eq!(first.parent, None);
+        assert!(!trace.per_op_micros().contains_key("fuse-join"));
+        // Ids stay unique across the prepended spans.
+        let mut ids: Vec<u64> = trace.spans().map(|sp| sp.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), trace.len());
     }
 
     #[test]

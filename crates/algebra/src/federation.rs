@@ -147,6 +147,25 @@ impl Federation {
         Ok((Federation::unflatten(&out, local), stats, trace))
     }
 
+    /// Like [`Federation::run_program_governed`], but the flattened
+    /// program goes through the cost-based planner first
+    /// ([`crate::plan::plan`] reads statistics off the flattened
+    /// database's qualified tables), and the planner's decision report
+    /// is returned alongside the run artifacts. A budget trip carries
+    /// partial stats/trace with the plan counters stamped, exactly as
+    /// [`crate::eval::run_planned_governed_traced`] does.
+    pub fn run_program_planned(
+        &self,
+        program: &Program,
+        local: &str,
+        budget: &Budget,
+    ) -> Result<(Federation, EvalStats, Trace, crate::plan::PlanReport)> {
+        let flat = self.flatten();
+        let (out, stats, trace, report) =
+            crate::eval::run_planned_governed_traced(program, &flat, budget)?;
+        Ok((Federation::unflatten(&out, local), stats, trace, report))
+    }
+
     /// Run `program` against every member *independently* (each member
     /// sees only its own unqualified tables), splitting `budget` evenly
     /// across members with [`Budget::split`]: each member's run gets
@@ -299,6 +318,21 @@ mod tests {
         assert_eq!(stats.op_counts.get("CLASSICALUNION"), Some(&1));
         assert_eq!(trace.len(), 1);
         assert_eq!(trace.spans().next().unwrap().op, "CLASSICALUNION");
+    }
+
+    #[test]
+    fn planned_run_agrees_with_unplanned_and_reports_decisions() {
+        let fed = two_branch_federation();
+        let p = parse("warehouse.Sales <- CLASSICALUNION(east.Sales, west.Sales)").unwrap();
+        let budget = Budget::from_limits(&limits());
+        let (planned, stats, _, report) = fed.run_program_planned(&p, "main", &budget).unwrap();
+        let unplanned = fed.run_program(&p, "main", &limits()).unwrap();
+        let w = planned.member("warehouse").unwrap();
+        assert!(w.equiv(unplanned.member("warehouse").unwrap()));
+        // No scratch intermediates here, so the honest report is empty —
+        // and the stats counters agree with it.
+        assert_eq!(stats.plans_rewritten, report.statements_rewritten);
+        assert_eq!(stats.plan_rules_applied, report.rules_applied());
     }
 
     #[test]

@@ -48,13 +48,15 @@ pub mod ops;
 pub mod optimize;
 pub mod param;
 pub mod parser;
+pub mod plan;
 pub mod pool;
 pub mod pretty;
 pub mod program;
 
 pub use error::AlgebraError;
 pub use eval::{
-    run, run_governed, run_governed_traced, run_outputs, run_traced, run_with_stats, EvalLimits,
+    run, run_governed, run_governed_traced, run_outputs, run_planned, run_planned_governed,
+    run_planned_governed_traced, run_planned_traced, run_traced, run_with_stats, EvalLimits,
     EvalStats, WhileStrategy,
 };
 pub use federation::Federation;
@@ -62,4 +64,5 @@ pub use governor::{Budget, CancelToken, PartialRun};
 pub use obs::{DeltaDecision, Span, SpanKind, Trace, TraceLevel};
 pub use optimize::optimize;
 pub use param::Param;
+pub use plan::{plan, plan_with_rules, Catalog, PlanReport, Rule, ALL_RULES};
 pub use program::{Assignment, OpKind, Program, RestructureChain, Statement};

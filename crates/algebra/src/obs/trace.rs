@@ -57,6 +57,15 @@ pub enum SpanKind {
     /// and `shard` its partition index, recording the fan-out of a
     /// single large join across the pool.
     Partition,
+    /// One planner rewrite decision, prepended to the trace by the
+    /// `run_planned*` entry points so EXPLAIN output shows what the
+    /// cost-based planner did before evaluation began. `op` carries the
+    /// rule name; `input_cells`/`output_cells` carry the cost model's
+    /// before/after cell estimates (0 when the rule had no statistics);
+    /// wall time is 0 (planning is not evaluation work, so these spans
+    /// never perturb the span/stats reconciliation, which only sums
+    /// [`SpanKind::Assign`] spans).
+    Plan,
 }
 
 impl SpanKind {
@@ -66,6 +75,7 @@ impl SpanKind {
             SpanKind::WhileIter => "while-iter",
             SpanKind::Shard => "shard",
             SpanKind::Partition => "partition",
+            SpanKind::Plan => "plan",
         }
     }
 }
@@ -171,6 +181,18 @@ impl Trace {
             self.dropped += 1;
         }
         self.spans.push_back(span);
+    }
+
+    /// Insert a span at the *front* of the buffer — used to place planner
+    /// decision spans before the evaluation spans they shaped. At
+    /// capacity the span is counted dropped instead (evicting the newest
+    /// evaluation span to make room would be worse).
+    pub(crate) fn prepend(&mut self, span: Span) {
+        if self.spans.len() == Self::CAPACITY {
+            self.dropped += 1;
+            return;
+        }
+        self.spans.push_front(span);
     }
 
     /// The held spans, oldest first.

@@ -1,74 +1,22 @@
 //! Program optimization — the future-work direction the paper names in
 //! §5 ("Query (and program) optimization is an important issue").
 //!
-//! Two conservative, semantics-preserving passes over tabular algebra
-//! programs:
+//! The passes that used to live here are now *rules* inside the
+//! cost-based planner ([`crate::plan`]); this module keeps the legacy
+//! entry points as thin wrappers running the corresponding rule subsets
+//! without a statistics catalog (so they behave exactly as before:
+//! pattern-driven, unconditional, statistics-free), plus
+//! [`body_is_delta_safe`], which the evaluator consults directly.
 //!
-//! * **dead-assignment elimination** — statements assigning to a
-//!   *scratch* table (reserved namespace) that no later statement ever
-//!   reads are dropped, to a fixpoint. The compilers of Theorems 4.1/4.5
-//!   emit long scratch chains; copies that feed nothing disappear here.
-//! * **copy forwarding** — a `COPY` from a scratch table that was itself
-//!   assigned exactly once immediately before is fused by retargeting the
-//!   producing statement.
-//!
-//! Both passes bail out (returning the program unchanged) when the
+//! All passes bail out (returning the program unchanged) when the
 //! program uses non-ground parameters (wildcards, pairs, negative lists)
 //! in targets, arguments, or `while` conditions — with wildcards, any
 //! statement may read any table, so nothing is provably dead. Compiled
 //! programs are fully ground, which is exactly where the passes pay off.
 
-use crate::param::Param;
-use crate::program::{Assignment, OpKind, Program, RestructureChain, Statement};
-use tabular_core::{interner, Symbol, SymbolSet};
-
-/// True if the symbol lives in the reserved scratch namespace.
-fn is_scratch(s: Symbol) -> bool {
-    s.text().is_some_and(interner::is_reserved)
-}
-
-fn ground(p: &Param) -> Option<Symbol> {
-    p.as_ground()
-}
-
-/// Collect every table name a statement list reads (arguments and `while`
-/// conditions); `None` if any parameter is non-ground.
-fn read_set(stmts: &[Statement], out: &mut SymbolSet) -> Option<()> {
-    for stmt in stmts {
-        match stmt {
-            Statement::Assign(a) => {
-                ground(&a.target)?;
-                for arg in &a.args {
-                    out.insert(ground(arg)?);
-                }
-            }
-            Statement::While { cond, body } => {
-                out.insert(ground(cond)?);
-                read_set(body, out)?;
-            }
-        }
-    }
-    Some(())
-}
-
-fn drop_dead(stmts: &mut Vec<Statement>, live: &SymbolSet) -> bool {
-    let mut changed = false;
-    stmts.retain_mut(|stmt| match stmt {
-        Statement::Assign(a) => {
-            let target = a.target.as_ground().expect("checked ground");
-            let keep = !is_scratch(target) || live.contains(target);
-            if !keep {
-                changed = true;
-            }
-            keep
-        }
-        Statement::While { body, .. } => {
-            changed |= drop_dead(body, live);
-            true
-        }
-    });
-    changed
-}
+use crate::plan::{plan_with_rules, read_set, Rule};
+use crate::program::{OpKind, Program, Statement};
+use tabular_core::SymbolSet;
 
 /// True when a `while` body is eligible for delta-driven evaluation
 /// (see [`crate::eval::WhileStrategy`]).
@@ -78,8 +26,8 @@ fn drop_dead(stmts: &mut Vec<Statement>, live: &SymbolSet) -> bool {
 /// would be a no-op. That requires:
 ///
 /// * **ground parameters throughout** — targets, arguments, and nested
-///   conditions all denote fixed names (reuses the same [`read_set`]
-///   machinery as the optimizer), so each statement's read and write
+///   conditions all denote fixed names (reuses the same `read_set`
+///   machinery as the planner), so each statement's read and write
 ///   sets are known statically;
 /// * **no fresh tagging** — `TUPLENEW` / `SETNEW` invent new tags on
 ///   every execution, so skipping a re-run changes the result (the
@@ -105,317 +53,54 @@ pub fn body_is_delta_safe(body: &[Statement]) -> bool {
     })
 }
 
-/// Eliminate dead scratch assignments, to a fixpoint.
+/// Eliminate dead scratch assignments, to a fixpoint. (The planner's
+/// `eliminate-dead` rule; see [`crate::plan::Rule::EliminateDead`].)
 pub fn eliminate_dead(program: &Program) -> Program {
-    let mut out = program.clone();
-    loop {
-        let mut live = SymbolSet::new();
-        if read_set(&out.statements, &mut live).is_none() {
-            return program.clone();
-        }
-        if !drop_dead(&mut out.statements, &live) {
-            return out;
-        }
-    }
+    plan_with_rules(program, None, &[Rule::EliminateDead]).0
 }
 
 /// Fuse `s ← op(...); T ← COPY(s)` into `T ← op(...)` when `s` is scratch,
 /// produced by the immediately preceding statement, and read nowhere else.
-/// Straight-line segments only (never across a `while` boundary).
+/// (The planner's `forward-copy` rule.)
 pub fn forward_copies(program: &Program) -> Program {
-    let mut live = SymbolSet::new();
-    if read_set(&program.statements, &mut live).is_none() {
-        return program.clone();
-    }
-    let mut out = program.clone();
-    fuse_in(&mut out.statements);
-    out
-}
-
-fn fuse_in(stmts: &mut Vec<Statement>) {
-    // Count reads per name within this segment (including nested bodies).
-    fn count_reads(stmts: &[Statement], of: Symbol) -> usize {
-        stmts
-            .iter()
-            .map(|s| match s {
-                Statement::Assign(a) => a.args.iter().filter(|p| p.as_ground() == Some(of)).count(),
-                Statement::While { cond, body } => {
-                    usize::from(cond.as_ground() == Some(of)) + count_reads(body, of)
-                }
-            })
-            .sum()
-    }
-
-    let mut i = 1;
-    while i < stmts.len() {
-        let fusable = {
-            let (head, tail) = stmts.split_at(i);
-            let prev = head.last().expect("i >= 1");
-            match (&prev, &tail[0]) {
-                (Statement::Assign(p), Statement::Assign(c)) => {
-                    let produced = p.target.as_ground();
-                    let copied = match (&c.op, c.args.as_slice()) {
-                        (OpKind::Copy, [arg]) => arg.as_ground(),
-                        _ => None,
-                    };
-                    match (produced, copied) {
-                        (Some(s), Some(src))
-                            if s == src && is_scratch(s) && count_reads(stmts, s) == 1 =>
-                        {
-                            Some(c.target.clone())
-                        }
-                        _ => None,
-                    }
-                }
-                _ => None,
-            }
-        };
-        if let Some(new_target) = fusable {
-            if let Statement::Assign(Assignment { target, .. }) = &mut stmts[i - 1] {
-                *target = new_target;
-            }
-            stmts.remove(i);
-        } else {
-            match &mut stmts[i] {
-                Statement::While { body, .. } => fuse_in(body),
-                Statement::Assign(_) => {}
-            }
-            i += 1;
-        }
-    }
-    if let Some(Statement::While { body, .. }) = stmts.first_mut() {
-        fuse_in(body);
-    }
+    plan_with_rules(program, None, &[Rule::ForwardCopy]).0
 }
 
 /// Fuse `s ← PRODUCT(R, S); T ← SELECT[A=B](s)` into
 /// `T ← FUSEDJOIN[A=B](R, S)` when `s` is scratch, produced by the
 /// immediately preceding statement, read nowhere else, and `A`/`B` are
 /// ground symbols (so their denotation cannot depend on the product table
-/// that no longer exists). Straight-line segments only, like
-/// [`forward_copies`].
-///
-/// The rewrite is unconditionally sound: `FUSEDJOIN[A=B](R, S)` is
-/// *defined* as `SELECT[A=B](PRODUCT(R, S))`, and the evaluator decides
-/// per argument pair whether the hash-join kernel applies
-/// ([`crate::ops::fusable_join_cols`]) or the unfused pipeline must run.
+/// that no longer exists). (The planner's `fuse-join` rule, run without
+/// statistics: unconditional, with the evaluator deciding per argument
+/// pair whether the hash-join kernel applies.)
 pub fn fuse_joins(program: &Program) -> Program {
-    let mut live = SymbolSet::new();
-    if read_set(&program.statements, &mut live).is_none() {
-        return program.clone();
-    }
-    let mut out = program.clone();
-    fuse_joins_in(&mut out.statements);
-    out
-}
-
-fn fuse_joins_in(stmts: &mut Vec<Statement>) {
-    fn count_reads(stmts: &[Statement], of: Symbol) -> usize {
-        stmts
-            .iter()
-            .map(|s| match s {
-                Statement::Assign(a) => a.args.iter().filter(|p| p.as_ground() == Some(of)).count(),
-                Statement::While { cond, body } => {
-                    usize::from(cond.as_ground() == Some(of)) + count_reads(body, of)
-                }
-            })
-            .sum()
-    }
-
-    let mut i = 1;
-    while i < stmts.len() {
-        let fused = {
-            let (head, tail) = stmts.split_at(i);
-            let prev = head.last().expect("i >= 1");
-            match (&prev, &tail[0]) {
-                (Statement::Assign(p), Statement::Assign(c)) => {
-                    let produced = p.target.as_ground();
-                    let selected = match (&c.op, c.args.as_slice()) {
-                        (OpKind::Select { a, b }, [arg])
-                            if a.as_ground().is_some() && b.as_ground().is_some() =>
-                        {
-                            arg.as_ground()
-                        }
-                        _ => None,
-                    };
-                    match (produced, selected, &p.op) {
-                        (Some(s), Some(src), OpKind::Product)
-                            if s == src && is_scratch(s) && count_reads(stmts, s) == 1 =>
-                        {
-                            let OpKind::Select { a, b } = &c.op else {
-                                unreachable!("matched above");
-                            };
-                            Some(Assignment {
-                                target: c.target.clone(),
-                                op: OpKind::FusedJoin {
-                                    a: a.clone(),
-                                    b: b.clone(),
-                                },
-                                args: p.args.clone(),
-                            })
-                        }
-                        _ => None,
-                    }
-                }
-                _ => None,
-            }
-        };
-        if let Some(joined) = fused {
-            stmts[i - 1] = Statement::Assign(joined);
-            stmts.remove(i);
-        } else {
-            match &mut stmts[i] {
-                Statement::While { body, .. } => fuse_joins_in(body),
-                Statement::Assign(_) => {}
-            }
-            i += 1;
-        }
-    }
-    if let Some(Statement::While { body, .. }) = stmts.first_mut() {
-        fuse_joins_in(body);
-    }
+    plan_with_rules(program, None, &[Rule::FuseJoin]).0
 }
 
 /// Fuse `s₁ ← GROUP[...](R); s₂ ← CLEANUP[...](s₁); T ← PURGE[...](s₂)`
 /// — and the 2-op prefix `s ← GROUP[...](R); T ← CLEANUP[...](s)` — into
 /// `T ← FUSEDRESTRUCTURE[...](R)` when each scratch intermediate is
 /// produced immediately before its single read and the clean-up/purge
-/// parameters are rigid ([`Param::is_rigid`] — their denotation cannot
-/// depend on the intermediate tables that no longer exist; the `GROUP`
-/// parameters denote against `R` either way and may stay arbitrary).
-/// Straight-line segments only, like [`forward_copies`].
-///
-/// The rewrite is unconditionally sound: `FUSEDRESTRUCTURE` is *defined*
-/// as the staged pipeline, and the evaluator decides per argument table
-/// whether the single-pass kernel applies
-/// ([`crate::ops::fused_restructure`]) or the staged fallback must run.
+/// parameters are rigid. (The planner's `fuse-restructure` rule.)
 pub fn fuse_restructure(program: &Program) -> Program {
-    let mut live = SymbolSet::new();
-    if read_set(&program.statements, &mut live).is_none() {
-        return program.clone();
-    }
-    let mut out = program.clone();
-    fuse_restructure_in(&mut out.statements);
-    out
+    plan_with_rules(program, None, &[Rule::FuseRestructure]).0
 }
 
-fn fuse_restructure_in(stmts: &mut Vec<Statement>) {
-    fn count_reads(stmts: &[Statement], of: Symbol) -> usize {
-        stmts
-            .iter()
-            .map(|s| match s {
-                Statement::Assign(a) => a.args.iter().filter(|p| p.as_ground() == Some(of)).count(),
-                Statement::While { cond, body } => {
-                    usize::from(cond.as_ground() == Some(of)) + count_reads(body, of)
-                }
-            })
-            .sum()
-    }
-
-    /// Does `consumer`'s single argument read exactly `producer`'s target,
-    /// with that target a scratch name read nowhere else in the segment?
-    fn pipes_scratch(stmts: &[Statement], producer: &Assignment, consumer: &Assignment) -> bool {
-        let Some(s) = producer.target.as_ground() else {
-            return false;
-        };
-        let [arg] = consumer.args.as_slice() else {
-            return false;
-        };
-        arg.as_ground() == Some(s) && is_scratch(s) && count_reads(stmts, s) == 1
-    }
-
-    /// The 2-op fusion of `stmts[i-1]; stmts[i]`, if they form a
-    /// `GROUP → CLEANUP` chain over a single-read scratch.
-    fn prefix(stmts: &[Statement], i: usize) -> Option<Assignment> {
-        let (Statement::Assign(g), Statement::Assign(c)) = (&stmts[i - 1], &stmts[i]) else {
-            return None;
-        };
-        let OpKind::Group {
-            by: group_by,
-            on: group_on,
-        } = &g.op
-        else {
-            return None;
-        };
-        let OpKind::CleanUp {
-            by: cleanup_by,
-            on: cleanup_on,
-        } = &c.op
-        else {
-            return None;
-        };
-        if !cleanup_by.is_rigid() || !cleanup_on.is_rigid() || !pipes_scratch(stmts, g, c) {
-            return None;
-        }
-        Some(Assignment {
-            target: c.target.clone(),
-            op: OpKind::FusedRestructure(Box::new(RestructureChain {
-                group_by: group_by.clone(),
-                group_on: group_on.clone(),
-                cleanup_by: cleanup_by.clone(),
-                cleanup_on: cleanup_on.clone(),
-                purge: None,
-            })),
-            args: g.args.clone(),
-        })
-    }
-
-    /// Extend a 2-op fusion at `i` to the 3-op chain, if `stmts[i+1]` is a
-    /// `PURGE` consuming the clean-up's single-read scratch result.
-    fn extend(stmts: &[Statement], i: usize, two: &Assignment) -> Option<Assignment> {
-        let (Statement::Assign(c), Statement::Assign(pu)) = (&stmts[i], stmts.get(i + 1)?) else {
-            return None;
-        };
-        let OpKind::Purge { on, by } = &pu.op else {
-            return None;
-        };
-        if !on.is_rigid() || !by.is_rigid() || !pipes_scratch(stmts, c, pu) {
-            return None;
-        }
-        let OpKind::FusedRestructure(chain) = two.op.clone() else {
-            unreachable!("prefix builds a FusedRestructure");
-        };
-        Some(Assignment {
-            target: pu.target.clone(),
-            op: OpKind::FusedRestructure(Box::new(RestructureChain {
-                purge: Some((on.clone(), by.clone())),
-                ..*chain
-            })),
-            args: two.args.clone(),
-        })
-    }
-
-    let mut i = 1;
-    while i < stmts.len() {
-        let Some(two) = prefix(stmts, i) else {
-            match &mut stmts[i] {
-                Statement::While { body, .. } => fuse_restructure_in(body),
-                Statement::Assign(_) => {}
-            }
-            i += 1;
-            continue;
-        };
-        match extend(stmts, i, &two) {
-            Some(three) => {
-                stmts[i - 1] = Statement::Assign(three);
-                stmts.remove(i);
-                stmts.remove(i);
-            }
-            None => {
-                stmts[i - 1] = Statement::Assign(two);
-                stmts.remove(i);
-            }
-        }
-    }
-    if let Some(Statement::While { body, .. }) = stmts.first_mut() {
-        fuse_restructure_in(body);
-    }
-}
-
-/// The full pipeline: copy forwarding, join fusion, restructuring fusion,
-/// then dead-code elimination.
+/// The full legacy pipeline: copy forwarding, join fusion, restructuring
+/// fusion, then dead-code elimination — the statistics-free rule subset
+/// of [`crate::plan::plan`], in the historical order.
 pub fn optimize(program: &Program) -> Program {
-    eliminate_dead(&fuse_restructure(&fuse_joins(&forward_copies(program))))
+    plan_with_rules(
+        program,
+        None,
+        &[
+            Rule::ForwardCopy,
+            Rule::FuseJoin,
+            Rule::FuseRestructure,
+            Rule::EliminateDead,
+        ],
+    )
+    .0
 }
 
 #[cfg(test)]
@@ -423,6 +108,9 @@ mod tests {
     use super::*;
     use crate::eval::{run, EvalLimits};
     use crate::param::Param;
+    use crate::plan::is_scratch;
+    use crate::program::{OpKind, Program, Statement};
+    use tabular_core::Symbol;
     use tabular_core::{fixtures, Database};
 
     fn scratch(n: u32) -> Symbol {

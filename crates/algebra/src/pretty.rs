@@ -250,6 +250,40 @@ pub fn render(p: &Program) -> String {
     out
 }
 
+/// Render a planner decision report as an `EXPLAIN`-style listing: one
+/// line per rewrite decision with the rule, the rewritten site, what was
+/// decided, and the cost model's cell estimates where it had statistics.
+///
+/// ```text
+/// plan: 2 rule applications, 5 statements rewritten
+///   [reorder-joins] Out: reordered 3-way product chain as L ⋈ N ⋈ M (est 817 → 90 cells)
+///   [eliminate-dead] program: dropped 1 dead scratch assignments
+/// ```
+pub fn render_plan(report: &crate::plan::PlanReport) -> String {
+    let mut out = String::new();
+    if report.decisions.is_empty() {
+        out.push_str("plan: no rewrites\n");
+        return out;
+    }
+    writeln!(
+        out,
+        "plan: {} rule applications, {} statements rewritten",
+        report.rules_applied(),
+        report.statements_rewritten
+    )
+    .unwrap();
+    for d in &report.decisions {
+        write!(out, "  [{}] {}: {}", d.rule.name(), d.site, d.detail).unwrap();
+        match (d.before_cells, d.after_cells) {
+            (Some(b), Some(a)) => write!(out, " (est {b} → {a} cells)").unwrap(),
+            (Some(b), None) => write!(out, " (est {b} cells before)").unwrap(),
+            _ => {}
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Render a trace as a human-readable `EXPLAIN ANALYZE`-style tree: one
 /// line per span, children indented under parents, annotated with the
 /// statement-level figures — how many argument combinations matched, the
@@ -332,6 +366,18 @@ fn render_trace_line(s: &Span, depth: usize, out: &mut String) {
             )
             .unwrap();
         }
+        SpanKind::Plan => {
+            if s.input_cells == 0 && s.output_cells == 0 {
+                writeln!(out, "plan [{}]", s.op).unwrap();
+            } else {
+                writeln!(
+                    out,
+                    "plan [{}] est {} → {} cells",
+                    s.op, s.input_cells, s.output_cells
+                )
+                .unwrap();
+            }
+        }
         SpanKind::Assign => {
             // Join-fusion decision, e.g. `FUSEDJOIN (fused-join)` — shows
             // why a FUSEDJOIN statement did or did not run the hash path.
@@ -406,6 +452,45 @@ mod tests {
             T <- SETNEW[Tag](R)
             T <- COPY(R)
         "#,
+        );
+    }
+
+    #[test]
+    fn render_plan_lists_decisions_with_cell_estimates() {
+        use crate::plan;
+        use crate::program::{OpKind, Program};
+        use tabular_core::{Database, Symbol, Table};
+
+        // A scratch PRODUCT consumed once by a SELECT whose attributes
+        // split across the operands: the planner fuses it into a hash
+        // join and, with catalog statistics, prices the decision.
+        let s = Symbol::fresh_name();
+        let p = Program::new()
+            .assign(
+                Param::sym(s),
+                OpKind::Product,
+                vec![Param::name("R"), Param::name("T")],
+            )
+            .assign(
+                Param::name("Out"),
+                OpKind::Select {
+                    a: Param::name("A"),
+                    b: Param::name("C"),
+                },
+                vec![Param::sym(s)],
+            );
+        let db = Database::from_tables([
+            Table::relational("R", &["A", "B"], &[&["1", "x"], &["2", "y"]]),
+            Table::relational("T", &["C", "D"], &[&["1", "u"]]),
+        ]);
+        let (_, report) = plan::plan(&p, &db);
+        let text = render_plan(&report);
+        assert!(text.contains("statements rewritten"), "{text}");
+        assert!(text.contains("[fuse-join] Out:"), "{text}");
+        assert!(text.contains("cells)"), "estimates rendered: {text}");
+        assert_eq!(
+            render_plan(&plan::PlanReport::default()),
+            "plan: no rewrites\n"
         );
     }
 

@@ -335,6 +335,27 @@ pub fn run_via_ta_governed(
     from_tabular(&out_db)
 }
 
+/// Like [`run_via_ta_governed`], but the compiled TA program goes
+/// through the cost-based planner (`tabular_algebra::plan`) before
+/// evaluation; returns the decoded graph together with the planner's
+/// decision report for the compiled `Node`/`Edge` program.
+pub fn run_via_ta_planned(
+    p: &GoodProgram,
+    g: &Graph,
+    budget: &tabular_algebra::Budget,
+) -> Result<(Graph, tabular_algebra::PlanReport)> {
+    let fo = compile_good(p)?;
+    let db = to_tabular(g);
+    let rel_db = tabular_relational::relation::RelDatabase::from_tabular(
+        &db,
+        &[Symbol::name("Node"), Symbol::name("Edge")],
+    )?;
+    let (out, _, _, report) =
+        tabular_relational::compile::run_compiled_planned(&fo, &rel_db, &["Node", "Edge"], budget)?;
+    let out_db = out.to_tabular();
+    Ok((from_tabular(&out_db)?, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +401,30 @@ mod tests {
             to: 2,
         });
         agree(&p, &family());
+    }
+
+    #[test]
+    fn planned_run_agrees_and_rewrites_pattern_joins() {
+        // A two-edge pattern compiles to a chain of scratch products;
+        // the planned path must agree with the native run and report
+        // planner rewrites on those shapes.
+        let p = GoodProgram::new().op(GoodOp::EdgeAddition {
+            pattern: Pattern::new()
+                .node(0, "Person")
+                .node(1, "Person")
+                .node(2, "Person")
+                .edge(0, "parent", 1)
+                .edge(1, "parent", 2),
+            label: nm("grandparent"),
+            from: 0,
+            to: 2,
+        });
+        let g = family();
+        let native = p.run(&g, 1000).expect("native run");
+        let budget = tabular_algebra::Budget::from_limits(&EvalLimits::default());
+        let (planned, report) = run_via_ta_planned(&p, &g, &budget).expect("planned TA run");
+        assert!(native.equiv(&planned), "planned TA path diverged");
+        assert!(report.rules_applied() >= 1, "pattern joins rewrite");
     }
 
     #[test]

@@ -143,19 +143,13 @@ pub fn pivot_governed(
         t.scheme().minus(&drop).iter().collect()
     };
     let target = Symbol::fresh_name();
-    // Fuse the GROUP → CLEAN-UP → PURGE chain into the single-pass
-    // restructuring kernel. (The full `optimize` pipeline would also run
-    // dead-assignment elimination, which treats the reserved `target`
-    // name as scratch and would drop the whole program.)
-    let p = tabular_algebra::optimize::fuse_restructure(&pivot_program(
-        t.name(),
-        col_attr,
-        val_attr,
-        &keys,
-        target,
-    ));
+    // Run the full cost-based planner pipeline: the GROUP → CLEAN-UP →
+    // PURGE chain fuses into the single-pass restructuring kernel, and
+    // dead-assignment elimination protects the reserved `target` name
+    // because it is the program's final assignment.
+    let p = pivot_program(t.name(), col_attr, val_attr, &keys, target);
     let db = Database::from_tables([t.clone()]);
-    let out = tabular_algebra::run_governed(&p, &db, budget)?;
+    let out = tabular_algebra::run_planned_governed(&p, &db, budget)?;
     let mut result = out
         .table(target)
         .expect("pivot program produces its target")
@@ -206,6 +200,37 @@ mod tests {
 
     fn limits() -> EvalLimits {
         EvalLimits::default()
+    }
+
+    /// Regression for the PR 6 workaround: the pivot program's final
+    /// assignment targets a *reserved* name, and the full optimizer
+    /// pipeline used to dead-eliminate it (pivot had to call
+    /// `fuse_restructure` directly). The planner's dead-code rule now
+    /// protects the program's final assignment, so the full pipeline
+    /// keeps the target and still fuses the restructuring chain.
+    #[test]
+    fn full_pipeline_preserves_reserved_pivot_target() {
+        let t = fixtures::sales_relation();
+        let target = Symbol::fresh_name();
+        let p = pivot_program(t.name(), nm("Region"), nm("Sold"), &[nm("Part")], target);
+        let opt = tabular_algebra::optimize(&p);
+        assert!(
+            !opt.statements.is_empty(),
+            "optimizer must not drop the reserved-target program"
+        );
+        let tabular_algebra::program::Statement::Assign(last) = opt.statements.last().unwrap()
+        else {
+            panic!("assignment expected");
+        };
+        assert_eq!(last.target, tabular_algebra::Param::sym(target));
+        assert!(
+            opt.statements.iter().any(|s| matches!(
+                s,
+                tabular_algebra::program::Statement::Assign(a)
+                    if matches!(a.op, OpKind::FusedRestructure(_))
+            )),
+            "restructuring chain still fuses: {opt:?}"
+        );
     }
 
     #[test]

@@ -573,6 +573,41 @@ pub fn run_translated_governed(
     Ok((QuadDb::from_relation(quad), stats, trace))
 }
 
+/// Like [`run_translated_governed`], but the compiled TA program goes
+/// through the cost-based planner (`tabular_algebra::plan`) before
+/// evaluation; the planner's decision report for the full
+/// SchemaLog_d → FO → TA stack is returned alongside the run artifacts.
+pub fn run_translated_planned(
+    program: &SlProgram,
+    input: &QuadDb,
+    budget: &tabular_algebra::Budget,
+) -> Result<(
+    QuadDb,
+    tabular_algebra::EvalStats,
+    tabular_algebra::Trace,
+    tabular_algebra::PlanReport,
+)> {
+    let ordered = uses_order(program);
+    let fo = if ordered {
+        translate_with_order(program)?
+    } else {
+        translate(program)?
+    };
+    let mut relations = vec![input.to_relation(quad_rel())];
+    if ordered {
+        relations.push(order_relation(input));
+    }
+    let db = RelDatabase::from_relations(relations);
+    let (out, stats, trace, report) =
+        tabular_relational::compile::run_compiled_planned(&fo, &db, &["Quad"], budget)?;
+    let quad =
+        out.get(quad_rel())
+            .ok_or(SlError::Rel(tabular_relational::RelError::MissingRelation(
+                quad_rel(),
+            )))?;
+    Ok((QuadDb::from_relation(quad), stats, trace, report))
+}
+
 /// Run the same translation but stop at the FO layer (reference point for
 /// the TA path; useful in benches to separate translation cost from TA
 /// interpretation cost).
@@ -641,6 +676,24 @@ mod tests {
         assert!(!trace.is_empty(), "translated TA statements produce spans");
         assert_eq!(trace.per_op_micros(), stats.op_micros);
         assert!(stats.while_iterations > 0, "the fixpoint loop was traced");
+    }
+
+    #[test]
+    fn planned_translation_agrees_and_reports_rewrites() {
+        let p = parse("pr[T : pair -> P] :- sales[T : part -> P], sales[T : region -> v:east].")
+            .unwrap();
+        let input = sales_quads();
+        let budget = tabular_algebra::Budget::from_limits(&EvalLimits::default());
+        let (out, stats, _, report) = run_translated_planned(&p, &input, &budget).unwrap();
+        let plain = run_translated(&p, &input, &EvalLimits::default()).unwrap();
+        assert_eq!(out.len(), plain.len(), "planning must not change results");
+        for q in plain.iter() {
+            assert!(out.contains(q), "planned path missing {q:?}");
+        }
+        // The join rule compiles to scratch PRODUCT + SELECT shapes the
+        // planner rewrites, and the stats counters mirror the report.
+        assert!(report.rules_applied() >= 1, "translated joins rewrite");
+        assert_eq!(stats.plan_rules_applied, report.rules_applied());
     }
 
     #[test]

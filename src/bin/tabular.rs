@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! tabular run program.ta --table sales.csv [--table more.csv …]
-//!         [--out Name …] [--optimize] [--stats] [--trace]
+//!         [--out Name …] [--optimize] [--plan] [--stats] [--trace]
 //!         [--deadline-ms N] [--cell-budget N]
 //! ```
 //!
@@ -30,6 +30,7 @@ struct Options {
     tables: Vec<String>,
     outputs: Vec<String>,
     optimize: bool,
+    plan: bool,
     stats: bool,
     trace: bool,
     deadline_ms: Option<u64>,
@@ -37,9 +38,11 @@ struct Options {
 }
 
 const USAGE: &str = "usage: tabular run <program.ta> --table <file.csv> [--table …] \
-[--out <Name> …] [--optimize] [--stats] [--trace] [--deadline-ms <N>] [--cell-budget <N>]\n       \
+[--out <Name> …] [--optimize] [--plan] [--stats] [--trace] [--deadline-ms <N>] [--cell-budget <N>]\n       \
 tabular fmt <program.ta>\n\
 \n\
+--plan              run the cost-based planner against the loaded tables'\n\
+                    statistics and print its rewrite decisions (EXPLAIN)\n\
 --deadline-ms <N>   fail the run once N milliseconds of wall time pass\n\
 --cell-budget <N>   fail the run once it has produced N cumulative cells\n\
                     (cells per table: (height+1)*(width+1))\n\
@@ -56,6 +59,7 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
         tables: Vec::new(),
         outputs: Vec::new(),
         optimize: false,
+        plan: false,
         stats: false,
         trace: false,
         deadline_ms: None,
@@ -70,6 +74,7 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
                 .outputs
                 .push(it.next().ok_or("--out needs a table name")?.clone()),
             "--optimize" => opts.optimize = true,
+            "--plan" => opts.plan = true,
             "--stats" => opts.stats = true,
             "--trace" => opts.trace = true,
             "--deadline-ms" => {
@@ -113,10 +118,16 @@ fn execute(command: &str, opts: &Options) -> Result<String, String> {
         return Err(format!("unknown command {command:?}\n{USAGE}"));
     }
 
+    let db = load_database(&opts.tables)?;
     if opts.optimize {
         program = optimize(&program);
     }
-    let db = load_database(&opts.tables)?;
+    let mut plan_section = String::new();
+    if opts.plan {
+        let (planned, report) = tables_paradigm::algebra::plan(&program, &db);
+        program = planned;
+        plan_section = format!("-- plan --\n{}", pretty::render_plan(&report));
+    }
     let limits = EvalLimits {
         trace: if opts.trace {
             TraceLevel::Spans
@@ -142,6 +153,7 @@ fn execute(command: &str, opts: &Options) -> Result<String, String> {
                 unreachable!("matched BudgetExceeded above");
             };
             msg.push('\n');
+            msg.push_str(&plan_section);
             msg.push_str(&render_observability(opts, &partial.stats, &partial.trace));
             return Err(msg);
         }
@@ -163,6 +175,7 @@ fn execute(command: &str, opts: &Options) -> Result<String, String> {
             out.push('\n');
         }
     }
+    out.push_str(&plan_section);
     out.push_str(&render_observability(opts, &stats, &trace));
     Ok(out)
 }
@@ -297,6 +310,28 @@ mod tests {
         .unwrap();
         let out = execute(&cmd, &opts).unwrap();
         assert!(out.contains("| T "));
+    }
+
+    #[test]
+    fn plan_flag_appends_plan_section() {
+        // Textual programs name every intermediate, and the planner's
+        // rewrites only touch single-read *scratch* intermediates (fusing
+        // a visible table away would change the output database) — so an
+        // honest plan report for this program is "no rewrites".
+        let program = write_temp("plan.ta", "T <- TRANSPOSE(Sales)\n");
+        let (cmd, opts) = parse_args(&[
+            "run".into(),
+            program,
+            "--table".into(),
+            sales_csv(),
+            "--plan".into(),
+        ])
+        .unwrap();
+        assert!(opts.plan);
+        let out = execute(&cmd, &opts).unwrap();
+        assert!(out.contains("| T "), "planned program still runs:\n{out}");
+        assert!(out.contains("-- plan --"), "plan section:\n{out}");
+        assert!(out.contains("plan: no rewrites"), "report:\n{out}");
     }
 
     #[test]

@@ -39,9 +39,11 @@ pub use tabular_schemalog as schemalog;
 /// Convenient single import for examples and downstream users.
 pub mod prelude {
     pub use tabular_algebra::{
-        parser::parse, pretty::render, pretty::render_trace, run, run_governed,
-        run_governed_traced, run_outputs, run_traced, run_with_stats, Budget, CancelToken,
-        EvalLimits, OpKind, Param, Program, RestructureChain, Trace, TraceLevel, WhileStrategy,
+        parser::parse, plan, plan_with_rules, pretty::render, pretty::render_plan,
+        pretty::render_trace, run, run_governed, run_governed_traced, run_outputs, run_planned,
+        run_planned_governed, run_planned_governed_traced, run_planned_traced, run_traced,
+        run_with_stats, Budget, CancelToken, EvalLimits, OpKind, Param, PlanReport, Program,
+        RestructureChain, Rule, Trace, TraceLevel, WhileStrategy, ALL_RULES,
     };
     pub use tabular_canonical::{decode, encode, encode_program, EncodeScheme, Transformation};
     pub use tabular_core::{fixtures, Database, Symbol, SymbolSet, Table};

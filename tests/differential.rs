@@ -291,6 +291,11 @@ proptest! {
                         "outputs diverge under {:?}/threshold {}\nprogram:\n{}\nbaseline:\n{}\ngot:\n{}",
                         cfg.while_strategy, cfg.parallel_threshold, src, expect, got
                     );
+                    // Unplanned runs must never report planner activity
+                    // (the counters are stamped only by the planned
+                    // entry points).
+                    prop_assert_eq!(stats.plans_rewritten, 0);
+                    prop_assert_eq!(stats.plan_rules_applied, 0);
                     // Logical production accounting agrees across
                     // strategies: delta skips charge their memoized
                     // output shape.
@@ -746,6 +751,225 @@ proptest! {
                     "unfused output diverges under {:?}/threshold {}\nprogram:\n{}",
                     cfg.while_strategy, cfg.parallel_threshold, src
                 );
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The planner oracle: full cost-based planning on ≡ off
+// ----------------------------------------------------------------------
+
+/// A left-deep 3-way product chain staged through single-use
+/// reserved-namespace scratches, closed by a ground `SELECT` — the shape
+/// the planner's join-reordering rule rewrites when statistics prove a
+/// cheaper order. `n` keeps scratch names unique across splices.
+fn reorder_chain(
+    n: usize,
+    t: &str,
+    l1: &str,
+    l2: &str,
+    l3: &str,
+    a: &str,
+    b: &str,
+) -> Vec<Statement> {
+    use tables_paradigm::algebra::Assignment;
+    let s1 = Param::sym(Symbol::name(&format!("\u{1F}ro{n}a")));
+    let s2 = Param::sym(Symbol::name(&format!("\u{1F}ro{n}b")));
+    vec![
+        Statement::Assign(Assignment {
+            target: s1.clone(),
+            op: OpKind::Product,
+            args: vec![Param::name(l1), Param::name(l2)],
+        }),
+        Statement::Assign(Assignment {
+            target: s2.clone(),
+            op: OpKind::Product,
+            args: vec![s1, Param::name(l3)],
+        }),
+        Statement::Assign(Assignment {
+            target: Param::name(t),
+            op: OpKind::Select {
+                a: Param::name(a),
+                b: Param::name(b),
+            },
+            args: vec![s2],
+        }),
+    ]
+}
+
+/// A resource trip: outcomes the planner is allowed to *shift* (fusing
+/// and reordering change which intermediates materialize, so one side
+/// may exhaust `max_cells`/`max_tables` where the other proceeds).
+fn is_resource_trip(e: &tables_paradigm::algebra::AlgebraError) -> bool {
+    use tables_paradigm::algebra::AlgebraError;
+    matches!(
+        e,
+        AlgebraError::LimitExceeded { .. } | AlgebraError::BudgetExceeded { .. }
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The planner oracle: running a program through the full cost-based
+    /// planner (`run_planned_traced` = statistics catalog + every rule in
+    /// `ALL_RULES`) must agree with the unplanned run on every visible
+    /// table, under Naive/Delta × serial/sharded. Random programs get a
+    /// fusable SELECT-over-PRODUCT chain *and* a 3-way reorderable
+    /// product chain spliced into the prologue (always executed, exact
+    /// store statistics available) and the loop body (statistics
+    /// invalidated by the loop — the planner must stay conservative
+    /// there). Errors must match exactly, except that a resource trip on
+    /// one side tolerates the other side proceeding: planning changes
+    /// which intermediates materialize, in either direction (fusion
+    /// skips the staged product; reordering mints different
+    /// intermediates). Planning is deterministic, so the decision
+    /// counters must agree across every configuration.
+    #[test]
+    fn planner_on_and_off_agree(
+        src in arb_program(),
+        db in arb_input(),
+        ((t1, x1, y1), (a1, b1)) in (
+            (0usize..5, 0usize..6, 0usize..6),
+            (0usize..4, 0usize..4),
+        ),
+        (t2, l1, l2, l3) in (0usize..5, 0usize..6, 0usize..6, 0usize..6),
+        (a2, b2) in (0usize..4, 0usize..4),
+        (t3, x3, y3, a3, b3) in (0usize..5, 0usize..6, 0usize..6, 0usize..4, 0usize..4),
+    ) {
+        use tables_paradigm::algebra::run_planned_traced;
+
+        let mut program = parse(&src).unwrap_or_else(|e| {
+            panic!("generated program must parse: {e}\n{src}")
+        });
+        let mut head = fusable_chain(4, TARGETS[t1], SOURCES[x1], SOURCES[y1], ATTRS[a1], ATTRS[b1]);
+        head.extend(reorder_chain(
+            0, TARGETS[t2], SOURCES[l1], SOURCES[l2], SOURCES[l3], ATTRS[a2], ATTRS[b2],
+        ));
+        program.statements.splice(0..0, head);
+        if let Some(Statement::While { body, .. }) = program
+            .statements
+            .iter_mut()
+            .find(|s| matches!(s, Statement::While { .. }))
+        {
+            let inner =
+                fusable_chain(5, TARGETS[t3], SOURCES[x3], SOURCES[y3], ATTRS[a3], ATTRS[b3]);
+            body.splice(0..0, inner);
+        }
+
+        let configs = [
+            limits(WhileStrategy::Naive, usize::MAX),
+            limits(WhileStrategy::Naive, 1),
+            limits(WhileStrategy::Delta, usize::MAX),
+            limits(WhileStrategy::Delta, 1),
+        ];
+        let baseline = run_traced(&program, &db, &configs[0]);
+        let expect = baseline.as_ref().ok().map(|(out, _, _)| canonicalize_fresh(&visible(out)));
+        let mut counters: Option<(usize, usize)> = None;
+        for cfg in &configs {
+            let label = format!("{:?}/threshold {}", cfg.while_strategy, cfg.parallel_threshold);
+            let planned = run_planned_traced(&program, &db, cfg);
+            match (&baseline, &planned) {
+                (Ok(_), Ok((got, stats, _))) => {
+                    prop_assert!(
+                        *expect.as_ref().unwrap() == canonicalize_fresh(&visible(got)),
+                        "planned output diverges under {}\nprogram:\n{}",
+                        label, src
+                    );
+                    // The prologue chains always see exact store
+                    // statistics, so the planner decides something on
+                    // every run — and deterministically.
+                    prop_assert!(
+                        stats.plan_rules_applied >= 1,
+                        "planner recorded no decision under {} for program:\n{}",
+                        label, src
+                    );
+                    match counters {
+                        None => counters = Some((stats.plans_rewritten, stats.plan_rules_applied)),
+                        Some(c) => prop_assert_eq!(
+                            c,
+                            (stats.plans_rewritten, stats.plan_rules_applied),
+                            "plan counters diverge under {} for program:\n{}",
+                            label, src
+                        ),
+                    }
+                }
+                (Err(e1), Err(e2)) => {
+                    prop_assert!(
+                        e1.to_string() == e2.to_string()
+                            || (is_resource_trip(e1) && is_resource_trip(e2)),
+                        "errors diverge under {}: baseline {e1}, planned {e2}\nprogram:\n{}",
+                        label, src
+                    );
+                }
+                (Ok(_), Err(e)) | (Err(e), Ok(_)) => {
+                    prop_assert!(
+                        is_resource_trip(e),
+                        "non-resource outcome diverges under {}: {e}\nprogram:\n{}",
+                        label, src
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Per-rule soundness: every rule alone preserves semantics
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Each planner rule, applied *alone* with the statistics catalog,
+    /// preserves the visible semantics of the program — the rule-level
+    /// refinement of `planner_on_and_off_agree` (which only checks the
+    /// composed pipeline, where a later rule could mask an earlier
+    /// rule's bug).
+    #[test]
+    fn each_planner_rule_preserves_semantics(
+        src in arb_program(),
+        db in arb_input(),
+        (t1, x1, y1) in (0usize..5, 0usize..6, 0usize..6),
+        (a1, b1) in (0usize..4, 0usize..4),
+        (t2, l1, l2, l3) in (0usize..5, 0usize..6, 0usize..6, 0usize..6),
+        (a2, b2) in (0usize..4, 0usize..4),
+    ) {
+        use tables_paradigm::algebra::{plan_with_rules, ALL_RULES};
+
+        let mut program = parse(&src).unwrap_or_else(|e| {
+            panic!("generated program must parse: {e}\n{src}")
+        });
+        let mut head = fusable_chain(6, TARGETS[t1], SOURCES[x1], SOURCES[y1], ATTRS[a1], ATTRS[b1]);
+        head.extend(reorder_chain(
+            1, TARGETS[t2], SOURCES[l1], SOURCES[l2], SOURCES[l3], ATTRS[a2], ATTRS[b2],
+        ));
+        program.statements.splice(0..0, head);
+
+        let cfg = limits(WhileStrategy::Naive, usize::MAX);
+        let baseline = run_traced(&program, &db, &cfg);
+        let Ok((base_out, _, _)) = &baseline else {
+            return Ok(());
+        };
+        let expect = canonicalize_fresh(&visible(base_out));
+        for rule in ALL_RULES {
+            let (rewritten, _) = plan_with_rules(&program, Some(&db), &[rule]);
+            match run_traced(&rewritten, &db, &cfg) {
+                Ok((got, _, _)) => prop_assert!(
+                    expect == canonicalize_fresh(&visible(&got)),
+                    "rule {:?} changed visible output\nprogram:\n{}",
+                    rule, src
+                ),
+                // A single rule may shift which intermediates
+                // materialize (e.g. pushdown mints per-branch scratch
+                // selects), so a resource trip is tolerated; any other
+                // error is a soundness bug.
+                Err(e) => prop_assert!(
+                    is_resource_trip(&e),
+                    "rule {:?} failed where the original succeeded: {e}\nprogram:\n{}",
+                    rule, src
+                ),
             }
         }
     }

@@ -263,6 +263,76 @@ fn assert_partial_trace(trace: &Trace, context: &str) {
 }
 
 // ---------------------------------------------------------------------
+// Planner × governor: charges follow the planned shapes
+// ---------------------------------------------------------------------
+
+/// A pessimal 3-way product chain: evaluated as written, the first
+/// product materializes |L|·|M| rows and trips a cell budget; the
+/// cost-based planner reorders it through the 1-row table `N` and fuses
+/// the closing selection, so the planned run fits the same budget. This
+/// pins the integration contract: governor charges land on the *planned*
+/// statement shapes, not the source program's.
+#[test]
+fn planner_fits_a_pessimal_join_chain_into_a_budget_that_trips_unplanned() {
+    use tables_paradigm::algebra::{run_planned_governed, Assignment, OpKind, Statement};
+    use tables_paradigm::prelude::{run_governed, Param, Program};
+
+    let rel = |name: &str, attrs: &[&str], rows: Vec<[String; 2]>| {
+        let borrowed: Vec<Vec<&str>> = rows.iter().map(|r| vec![&*r[0], &*r[1]]).collect();
+        let slices: Vec<&[&str]> = borrowed.iter().map(|r| &r[..]).collect();
+        Table::relational(name, attrs, &slices)
+    };
+    let db = Database::from_tables([
+        rel(
+            "L",
+            &["A", "X"],
+            (0..8).map(|i| [format!("v{i}"), format!("x{i}")]).collect(),
+        ),
+        rel(
+            "M",
+            &["B", "Y"],
+            (4..12)
+                .map(|i| [format!("v{i}"), format!("y{i}")])
+                .collect(),
+        ),
+        Table::relational("N", &["C"], &[&["n"]]),
+    ]);
+    let s1 = Param::sym(Symbol::name("\u{1F}gv0a"));
+    let s2 = Param::sym(Symbol::name("\u{1F}gv0b"));
+    let program = Program {
+        statements: vec![
+            Statement::Assign(Assignment {
+                target: s1.clone(),
+                op: OpKind::Product,
+                args: vec![Param::name("L"), Param::name("M")],
+            }),
+            Statement::Assign(Assignment {
+                target: s2.clone(),
+                op: OpKind::Product,
+                args: vec![s1, Param::name("N")],
+            }),
+            Statement::Assign(Assignment {
+                target: Param::name("Out"),
+                op: OpKind::Select {
+                    a: Param::name("A"),
+                    b: Param::name("B"),
+                },
+                args: vec![s2],
+            }),
+        ],
+    };
+    // |L×M| = 64 rows × 4 cols = 325 cells: over budget as written.
+    let budget = Budget::from_limits(&EvalLimits::default()).with_cell_budget(250);
+    let (resource, _, _, _) = unwrap_trip(run_governed(&program, &db, &budget).unwrap_err());
+    assert_eq!(resource, governor::RESOURCE_RUN_CELLS);
+    let out = run_planned_governed(&program, &db, &budget)
+        .expect("planned chain fits the budget the source program trips");
+    let t = out.table_str("Out").expect("planned run produces Out");
+    // A-values v4..v7 meet B-values: 4 joined rows survive the selection.
+    assert_eq!(t.height(), 4);
+}
+
+// ---------------------------------------------------------------------
 // Cancellation
 // ---------------------------------------------------------------------
 
