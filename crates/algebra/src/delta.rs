@@ -191,16 +191,31 @@ fn run_delta_iteration(
         // Poll before the skip check so even all-skip iterations stop at
         // statement granularity.
         cx.gov.poll()?;
+        // `plan_delta` admits only ground assignments into delta bodies;
+        // these checks are reachable mid-run (including while a governed
+        // run is winding down from a trip with partial state), so a
+        // violated invariant fails the run instead of panicking the
+        // process.
         let Statement::Assign(a) = stmt else {
-            unreachable!("delta-safe bodies contain only assignments");
+            return Err(AlgebraError::Internal {
+                what: "delta-safe body contained a non-assignment",
+            });
         };
         let kw = a.op.keyword();
-        let target = a.target.as_ground().expect("delta-safe target");
+        let Some(target) = a.target.as_ground() else {
+            return Err(AlgebraError::Internal {
+                what: "delta-safe body target is not ground",
+            });
+        };
         let reads: Vec<Symbol> = a
             .args
             .iter()
-            .map(|p| p.as_ground().expect("delta-safe argument"))
-            .collect();
+            .map(|p| {
+                p.as_ground().ok_or(AlgebraError::Internal {
+                    what: "delta-safe body argument is not ground",
+                })
+            })
+            .collect::<Result<_>>()?;
         let read_versions: Vec<u64> = reads.iter().map(|&n| group_version(db, n)).collect();
         if let Some(memo) = &st.memos[idx] {
             if memo.read_versions == read_versions
@@ -301,12 +316,22 @@ fn run_body_statement(
             metrics.note_fusion("fused-join");
         }
         check_virtual_result(inc.out_cells_after, cx, metrics)?;
-        let memo = st.memos[idx].as_mut().expect("plan requires a memo");
+        // `plan_incremental` only returns a plan when the memo and its
+        // cached output exist; a budget trip in `check_virtual_result`
+        // above returns before these are touched, but if the invariant
+        // ever breaks on this partial-state path it must fail the run,
+        // not the process.
+        let Some(memo) = st.memos[idx].as_mut() else {
+            return Err(AlgebraError::Internal {
+                what: "incremental plan without a statement memo",
+            });
+        };
         let from_version = memo.target_version;
-        let cached = memo
-            .cached_output
-            .take()
-            .expect("plan requires a cached output");
+        let Some(cached) = memo.cached_output.take() else {
+            return Err(AlgebraError::Internal {
+                what: "incremental plan without a cached output",
+            });
+        };
         let in_place = old_version == from_version;
         let base_height = inc.base_height;
         let (changed, new_output) = if inc.new_rows == 0 {
@@ -330,11 +355,15 @@ fn run_body_statement(
             let committed = db.update_named(target, |out| applied = inc.plan.apply(out, cx, pool));
             debug_assert!(committed, "in-place target is a unique table");
             metrics.note_partitioned(&applied?);
-            let out = db
-                .tables_named_iter(target)
-                .next()
-                .expect("target was just updated")
-                .clone();
+            // `update_named` committed above (debug-asserted); if the
+            // target vanished anyway, fail the run rather than panic —
+            // this path runs under the governor with partial state.
+            let Some(out) = db.tables_named_iter(target).next() else {
+                return Err(AlgebraError::Internal {
+                    what: "in-place append target vanished from the store",
+                });
+            };
+            let out = out.clone();
             (true, out)
         } else {
             let mut out = cached;

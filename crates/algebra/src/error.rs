@@ -71,6 +71,15 @@ pub enum AlgebraError {
         /// Description.
         msg: String,
     },
+    /// An engine invariant did not hold mid-run. These used to be
+    /// `expect`/`unreachable!` panics on paths that are also reachable
+    /// while a governed run is winding down from a budget trip (partial
+    /// state); in a long-lived multi-tenant process a broken invariant
+    /// must fail the one run, not abort the server.
+    Internal {
+        /// Which invariant broke.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for AlgebraError {
@@ -111,6 +120,9 @@ impl std::fmt::Display for AlgebraError {
                 write!(f, "entry parameter denotes {} symbols", syms.len())
             }
             AlgebraError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+            AlgebraError::Internal { what } => {
+                write!(f, "internal evaluation invariant broken: {what}")
+            }
         }
     }
 }

@@ -644,7 +644,15 @@ pub(crate) fn compute_results(
                 pool.get().scoped(jobs);
                 metrics.stats.shard_jobs += chunks.len();
                 for (shard, (slot, slice)) in slots.into_iter().zip(&chunks).enumerate() {
-                    let (out, counts, micros) = slot.expect("every shard reports a result");
+                    // Every job writes its slot before the scoped join
+                    // returns; if one didn't (a pool bug — e.g. a job
+                    // lost to a governor trip racing the join), fail the
+                    // run, not the process.
+                    let Some((out, counts, micros)) = slot else {
+                        return Err(AlgebraError::Internal {
+                            what: "a shard job finished without reporting a result",
+                        });
+                    };
                     fusion.absorb(counts);
                     metrics.shard_span(shard, slice.len(), micros);
                     results.extend(out?);

@@ -72,8 +72,16 @@ impl<'a> Lexer<'a> {
     fn lex(mut self) -> Result<Vec<(usize, Tok)>> {
         let bytes = self.src;
         while self.pos < bytes.len() {
-            let rest = &bytes[self.pos..];
-            let c = rest.chars().next().expect("pos is a char boundary");
+            // `pos` only ever advances by whole-character byte counts, so
+            // it stays on a char boundary — but this lexer faces untrusted
+            // wire input, so a bookkeeping bug must surface as a parse
+            // error, never a slice panic.
+            let Some(rest) = bytes.get(self.pos..) else {
+                return Err(self.err("lexer lost its position"));
+            };
+            let Some(c) = rest.chars().next() else {
+                return Err(self.err("lexer lost its position"));
+            };
             let start = self.pos;
             match c {
                 c if c.is_whitespace() => self.pos += c.len_utf8(),
@@ -148,9 +156,11 @@ impl<'a> Lexer<'a> {
                     let word: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
                     self.pos += word.len();
                     // Tagged forms: v:x, n:x, possibly quoted.
-                    if (word == "v" || word == "n") && bytes[self.pos..].starts_with(':') {
+                    if (word == "v" || word == "n")
+                        && bytes.get(self.pos..).is_some_and(|r| r.starts_with(':'))
+                    {
                         self.pos += 1;
-                        let rest2 = &bytes[self.pos..];
+                        let rest2 = bytes.get(self.pos..).unwrap_or("");
                         let text = if let Some(body) = rest2.strip_prefix('"') {
                             let (s, consumed) = self.lex_quoted(body)?;
                             self.pos += consumed + 1;
@@ -208,9 +218,33 @@ impl<'a> Lexer<'a> {
 // Parser
 // ----------------------------------------------------------------------
 
+/// Maximum nesting depth of the recursive-descent parser (`while` bodies,
+/// parenthesized entry pairs). The grammar never needs deep nesting in
+/// practice, but the parser faces untrusted wire input: without a cap, a
+/// body like `"((((("` × 100k recurses once per character and overflows
+/// the stack — an abort, not an unwind, so a single malformed request
+/// would take down the whole query service. Deeper-than-`MAX_DEPTH` input
+/// is rejected with a regular parse error instead.
+const MAX_DEPTH: usize = 128;
+
 struct Parser {
     toks: Vec<(usize, Tok)>,
     pos: usize,
+    depth: usize,
+}
+
+/// Runs `body` with the parser's nesting depth incremented, erroring out
+/// (rather than recursing further) past [`MAX_DEPTH`].
+macro_rules! nested {
+    ($self:ident, $body:expr) => {{
+        if $self.depth >= MAX_DEPTH {
+            return Err($self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        $self.depth += 1;
+        let out = $body;
+        $self.depth -= 1;
+        out
+    }};
 }
 
 impl Parser {
@@ -259,6 +293,10 @@ impl Parser {
     }
 
     fn parse_program(&mut self) -> Result<Vec<Statement>> {
+        nested!(self, self.parse_program_inner())
+    }
+
+    fn parse_program_inner(&mut self) -> Result<Vec<Statement>> {
         let mut stmts = Vec::new();
         while self.peek().is_some() && !self.peek_keyword("end") {
             stmts.push(self.parse_statement()?);
@@ -458,6 +496,10 @@ impl Parser {
     /// A parameter: either a single item or a braced list with an optional
     /// negative part after `\`.
     fn parse_param(&mut self) -> Result<Param> {
+        nested!(self, self.parse_param_inner())
+    }
+
+    fn parse_param_inner(&mut self) -> Result<Param> {
         if self.peek() == Some(&Tok::LBrace) {
             self.next();
             let mut param = Param::default();
@@ -528,7 +570,11 @@ pub fn parse(src: &str) -> Result<Program> {
         toks: Vec::new(),
     }
     .lex()?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let statements = p.parse_program()?;
     if p.peek().is_some() {
         return Err(p.err("trailing input"));
@@ -660,6 +706,24 @@ mod tests {
         assert!(parse("T <- UNION(R, S) garbage ?").is_err());
         assert!(parse("while T do T <- COPY(R)").is_err()); // missing end
         assert!(parse(r#"T <- SWITCH["unterminated](R)"#).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // Untrusted input: without the depth cap each of these recursed
+        // once per character and overflowed the stack (a process abort,
+        // not an unwind).
+        let bomb = "(".repeat(200_000);
+        assert!(matches!(
+            parse(&format!("T <- SWITCH[{bomb}](R)")),
+            Err(AlgebraError::Parse { .. })
+        ));
+        assert!(matches!(parse(&bomb), Err(AlgebraError::Parse { .. })));
+        let whiles = "while W do ".repeat(200_000);
+        assert!(matches!(parse(&whiles), Err(AlgebraError::Parse { .. })));
+        // Reasonable nesting still parses.
+        let ok = format!("T <- SWITCH[{}A{}](R)", "(".repeat(20), ",B)".repeat(20));
+        assert!(parse(&ok).is_ok(), "20-deep pair nesting should parse");
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! A minimal HTTP/1.1 reader/writer over `std::net`.
+//!
+//! The offline vendor set has no async runtime and no HTTP crate, so
+//! the service speaks a deliberately small slice of HTTP/1.1: request
+//! line + headers + `Content-Length` body (no chunked encoding, no
+//! 100-continue), keep-alive by default, hard caps on header and body
+//! sizes. Everything read here is untrusted wire input — every
+//! malformed shape must come back as an error value, never a panic.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request head (request line + headers).
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Cap on a request body.
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method.
+    pub method: String,
+    /// Percent-decoded path, query string stripped.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// The body (possibly empty).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter with this name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First header with this (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open
+    /// (HTTP/1.1 default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Transport failure; drop the connection silently.
+    Io(std::io::Error),
+    /// The bytes were not a request this server accepts; answer with
+    /// the carried status (400 or 413) and close.
+    Malformed(u16, String),
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> ReadError {
+        ReadError::Io(e)
+    }
+}
+
+/// Read one request. `Ok(None)` means the client closed the connection
+/// cleanly between requests.
+pub fn read_request(r: &mut BufReader<TcpStream>) -> Result<Option<Request>, ReadError> {
+    // Head: everything up to the blank line, capped.
+    let mut head = Vec::new();
+    loop {
+        let line_start = head.len();
+        let n = read_line_capped(r, &mut head)?;
+        if n == 0 {
+            return if line_start == 0 {
+                Ok(None) // clean EOF before any byte of a request
+            } else {
+                Err(ReadError::Malformed(400, "truncated request head".into()))
+            };
+        }
+        // A line of just "\r\n" (or "\n") ends the head.
+        if head[line_start..] == b"\r\n"[..] || head[line_start..] == b"\n"[..] {
+            head.truncate(line_start);
+            break;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(ReadError::Malformed(413, "request head too large".into()));
+        }
+    }
+
+    let head = String::from_utf8(head)
+        .map_err(|_| ReadError::Malformed(400, "request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed(400, "empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed(400, "request line has no target".into()))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(
+            400,
+            format!("bad version {version:?}"),
+        ));
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = percent_decode(raw_path)
+        .ok_or_else(|| ReadError::Malformed(400, "bad percent-encoding in path".into()))?;
+    let mut query = Vec::new();
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let k = percent_decode(k)
+            .ok_or_else(|| ReadError::Malformed(400, "bad percent-encoding in query".into()))?;
+        let v = percent_decode(v)
+            .ok_or_else(|| ReadError::Malformed(400, "bad percent-encoding in query".into()))?;
+        query.push((k, v));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines.filter(|l| !l.is_empty()) {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(400, format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| ReadError::Malformed(400, "bad content-length".into()))?;
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ReadError::Malformed(
+            400,
+            "chunked bodies unsupported".into(),
+        ));
+    }
+    if let Some(len) = content_length {
+        if len > MAX_BODY {
+            return Err(ReadError::Malformed(413, "request body too large".into()));
+        }
+        body.resize(len, 0);
+        r.read_exact(&mut body)?;
+    }
+
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// `read_until(b'\n')` with the head cap applied mid-line, so a
+/// newline-free flood cannot grow the buffer unboundedly.
+fn read_line_capped(r: &mut BufReader<TcpStream>, out: &mut Vec<u8>) -> Result<usize, ReadError> {
+    let start = out.len();
+    loop {
+        let available = r.fill_buf()?;
+        if available.is_empty() {
+            return Ok(out.len() - start);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(ix) => {
+                out.extend_from_slice(&available[..=ix]);
+                r.consume(ix + 1);
+                return Ok(out.len() - start);
+            }
+            None => {
+                let n = available.len();
+                out.extend_from_slice(available);
+                r.consume(n);
+                if out.len() > MAX_HEAD {
+                    return Err(ReadError::Malformed(413, "request head too large".into()));
+                }
+            }
+        }
+    }
+}
+
+/// Decode `%XX` escapes and `+` (as space); `None` on truncated or
+/// non-hex escapes or non-UTF-8 results.
+fn percent_decode(s: &str) -> Option<String> {
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'%' => {
+                let hex = b.get(i + 1..i + 3)?;
+                let hex = std::str::from_utf8(hex).ok()?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Write one response. Errors are returned for the caller to ignore —
+/// a client that disconnected mid-run cannot receive its answer.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Response",
+    };
+    // One buffered write: head and body in separate segments interact
+    // badly with Nagle + delayed ACK (~40ms stalls per response).
+    let mut msg = Vec::with_capacity(128 + body.len());
+    write!(
+        msg,
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .expect("write to Vec");
+    msg.extend_from_slice(body);
+    stream.write_all(&msg)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c").as_deref(), Some("a b c"));
+        assert_eq!(percent_decode("%E4%BA%AC").as_deref(), Some("京"));
+        assert!(percent_decode("%zz").is_none());
+        assert!(percent_decode("%2").is_none());
+        assert!(percent_decode("%ff").is_none()); // lone continuation byte
+    }
+}

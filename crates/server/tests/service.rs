@@ -1,0 +1,377 @@
+//! Integration tests for the query service, over real sockets.
+//!
+//! The contracts under test (ISSUE: "server integration tests"):
+//! sessions are isolated; a client disconnect cancels its in-flight
+//! run; a deadline trip answers 408 with the partial stats the
+//! governor carries; and malformed bodies are the client's error (400),
+//! never the server's (500).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tabular_server::{json, Config, Server, Service};
+
+fn start(
+    default_deadline_ms: Option<u64>,
+    default_cell_budget: Option<usize>,
+) -> (SocketAddr, Arc<Service>) {
+    let config = Config {
+        addr: "127.0.0.1:0".into(),
+        default_deadline_ms,
+        default_cell_budget,
+    };
+    Server::bind(config).unwrap().spawn().unwrap()
+}
+
+/// One-shot HTTP exchange (`connection: close`); returns status + body.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn open_session(addr: SocketAddr) -> String {
+    let (status, body) = http(addr, "POST", "/sessions", "");
+    assert_eq!(status, 201, "{body}");
+    json::parse(&body)
+        .unwrap()
+        .get("session")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string()
+}
+
+fn upload(addr: SocketAddr, session: &str, csv: &str) {
+    let (status, body) = http(addr, "POST", &format!("/sessions/{session}/tables"), csv);
+    assert_eq!(status, 201, "{body}");
+}
+
+fn query_body(program: &str) -> String {
+    format!("{{\"program\": \"{}\"}}", json::escape(program))
+}
+
+#[test]
+fn sessions_are_isolated_and_commits_persist() {
+    let (addr, _) = start(None, None);
+    let a = open_session(addr);
+    let b = open_session(addr);
+    assert_ne!(a, b);
+    upload(addr, &a, "Secret,X\nr,only-in-a\n");
+    upload(addr, &b, "Other,Y\nr,only-in-b\n");
+
+    // A mutating query in session A commits; session B never sees it.
+    let (status, body) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{a}/query"),
+        &query_body("T <- COPY(Secret)"),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("only-in-a"), "{body}");
+    assert!(
+        !body.contains("only-in-b"),
+        "session A saw session B: {body}"
+    );
+
+    // The committed T is visible to a later query in A …
+    let (status, body) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{a}/query"),
+        &query_body("U <- COPY(T)"),
+    );
+    assert_eq!(status, 200, "commit persisted: {body}");
+    assert!(body.contains("\"name\":\"U\""), "{body}");
+
+    // … but not to session B, where the same program cannot resolve T.
+    let (status, body) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{b}/query"),
+        &query_body("U <- COPY(T)"),
+    );
+    assert_eq!(status, 200, "COPY of an absent table matches nothing");
+    assert!(!body.contains("only-in-a"), "isolation broken: {body}");
+
+    // readonly=1 skips the commit.
+    let (status, _) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{b}/query?readonly=1"),
+        &query_body("V <- COPY(Other)"),
+    );
+    assert_eq!(status, 200);
+    let (_, body) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{b}/query"),
+        &query_body("W2 <- COPY(V)"),
+    );
+    assert!(
+        !body.contains("\"name\":\"V\""),
+        "readonly run leaked a commit: {body}"
+    );
+
+    // Closing a session 404s further use.
+    let (status, _) = http(addr, "DELETE", &format!("/sessions/{a}"), "");
+    assert_eq!(status, 204);
+    let (status, _) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{a}/query"),
+        &query_body("T <- COPY(X)"),
+    );
+    assert_eq!(status, 404);
+}
+
+#[test]
+fn disconnect_mid_run_cancels_the_query() {
+    let (addr, service) = start(None, None);
+    let session = open_session(addr);
+    // Spin tables sized so the run cannot finish before the client
+    // vanishes: the A/B swap keeps every iteration executing (no delta
+    // skip), and the 250k-row PRODUCT rebuilt each iteration makes the
+    // full 10_000-iteration run take minutes, not milliseconds.
+    let mut rows = String::new();
+    for i in 0..500 {
+        rows.push_str(&format!("r{i},v{i}\n"));
+    }
+    upload(addr, &session, &format!("A,X\n{rows}"));
+    upload(addr, &session, &format!("B,Y\n{rows}"));
+    upload(addr, &session, "W,K\ngo,1\n");
+
+    let body = query_body(
+        "while W do
+           T <- PRODUCT(A, B)
+           S <- COPY(A)
+           A <- COPY(B)
+           B <- COPY(S)
+         end",
+    );
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "POST /sessions/{session}/query HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    // Let the run get admitted, then vanish without reading the answer.
+    std::thread::sleep(Duration::from_millis(60));
+    drop(stream);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.counters.disconnect_cancels.load(Ordering::Relaxed) == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "disconnect never cancelled the run"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The watcher trips the token before the run unwinds; the trip is
+    // only counted once the (doomed) response renders, so keep polling.
+    while service.counters.budget_trips.load(Ordering::Relaxed) == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "cancelled run never surfaced as a budget trip"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The stats route reports the cancellation.
+    let (status, body) = http(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let stats = json::parse(&body).unwrap();
+    assert!(
+        stats.get("disconnect_cancels").unwrap().as_num().unwrap() >= 1.0,
+        "{body}"
+    );
+}
+
+#[test]
+fn deadline_trip_answers_408_with_partial_stats() {
+    // Server-wide default deadline of 0: every admission trips at once.
+    let (addr, _) = start(Some(0), None);
+    let session = open_session(addr);
+    upload(addr, &session, "A,X\nr,a\n");
+    let (status, body) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{session}/query?trace=spans"),
+        &query_body("T <- TRANSPOSE(A)"),
+    );
+    assert_eq!(status, 408, "{body}");
+    let parsed = json::parse(&body).expect("partial report is well-formed JSON");
+    let result = &parsed.get("results").unwrap().as_arr().unwrap()[0];
+    assert_eq!(
+        result.get("resource").unwrap().as_str(),
+        Some("wall-clock deadline (ms)")
+    );
+    assert!(
+        result.get("stats").is_some(),
+        "partial stats attached: {body}"
+    );
+    assert!(
+        result.get("trace").is_some(),
+        "partial trace attached: {body}"
+    );
+
+    // A per-request override can lift the default: generous deadline.
+    let (status, body) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{session}/query?deadline_ms=60000"),
+        &query_body("T <- TRANSPOSE(A)"),
+    );
+    assert_eq!(status, 200, "{body}");
+}
+
+#[test]
+fn cell_budget_trip_answers_408() {
+    let (addr, _) = start(None, Some(5_000));
+    let session = open_session(addr);
+    upload(addr, &session, "W,A\nr,w\n");
+    upload(addr, &session, "G,B\nr,x\ns,y\n");
+    let (status, body) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{session}/query"),
+        &query_body("while W do W <- PRODUCT(W, G) end"),
+    );
+    assert_eq!(status, 408, "{body}");
+    let parsed = json::parse(&body).unwrap();
+    let result = &parsed.get("results").unwrap().as_arr().unwrap()[0];
+    assert_eq!(
+        result.get("resource").unwrap().as_str(),
+        Some("run cell budget")
+    );
+    let stats = result.get("stats").unwrap();
+    assert!(stats.get("while_iterations").unwrap().as_num().unwrap() >= 1.0);
+}
+
+#[test]
+fn malformed_bodies_are_400_never_500() {
+    let (addr, _) = start(None, None);
+    let session = open_session(addr);
+    let query_path = format!("/sessions/{session}/query");
+    for (what, body) in [
+        ("not JSON at all", "}{ not json"),
+        ("JSON without a program", "{\"nope\": 1}"),
+        ("non-string programs", "{\"programs\": [1, 2]}"),
+        ("empty programs", "{\"programs\": []}"),
+        ("unparsable program", "{\"program\": \"T <- NOPE(A)\"}"),
+        ("truncated program", "{\"program\": \"T <- SWITCH[((((\"}"),
+        ("invalid UTF-8-ish escape", "{\"program\": \"\\ud800\"}"),
+    ] {
+        let (status, resp) = http(addr, "POST", &query_path, body);
+        assert_eq!(status, 400, "{what}: {resp}");
+        assert!(
+            json::parse(&resp).is_ok(),
+            "{what}: error body is JSON: {resp}"
+        );
+    }
+    // Bad admission overrides are also the client's error.
+    let (status, _) = http(
+        addr,
+        "POST",
+        &format!("{query_path}?deadline_ms=soon"),
+        "{\"program\": \"T <- COPY(A)\"}",
+    );
+    assert_eq!(status, 400);
+    // Bad CSV uploads too.
+    let (status, _) = http(addr, "POST", &format!("/sessions/{session}/tables"), "");
+    assert_eq!(status, 400);
+    // Unknown sessions are 404, unknown routes 404, bad methods 405.
+    let (status, _) = http(
+        addr,
+        "POST",
+        "/sessions/s999/query",
+        "{\"program\": \"T <- COPY(A)\"}",
+    );
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "PUT", "/sessions", "");
+    assert_eq!(status, 405);
+    // A garbage request line closes with 400, not a hung or dead server.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"%%%\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw:?}");
+    // And the server is still alive afterwards.
+    let (status, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn multi_program_requests_split_the_budget_and_run_readonly() {
+    let (addr, _) = start(None, None);
+    let session = open_session(addr);
+    upload(addr, &session, "A,X\nr,a\ns,b\n");
+    let body = "{\"programs\": [\"T <- COPY(A)\", \"U <- TRANSPOSE(A)\", \"V <- PRODUCT(A, A)\"]}";
+    let (status, resp) = http(addr, "POST", &format!("/sessions/{session}/query"), body);
+    assert_eq!(status, 200, "{resp}");
+    let parsed = json::parse(&resp).unwrap();
+    let results = parsed.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), 3);
+    for r in results {
+        assert_eq!(r.get("ok"), Some(&json::Json::Bool(true)), "{resp}");
+    }
+    // Read-only: none of T/U/V was committed to the session.
+    let (_, resp) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{session}/query"),
+        &query_body("Z <- COPY(T)"),
+    );
+    assert!(!resp.contains("\"name\":\"Z\",\"height\":2"), "{resp}");
+}
+
+#[test]
+fn plan_and_trace_attachments_render() {
+    let (addr, _) = start(None, None);
+    let session = open_session(addr);
+    upload(addr, &session, "A,X\nr,a\n");
+    let (status, body) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{session}/query?plan=1&trace=spans"),
+        &query_body("T <- TRANSPOSE(A)"),
+    );
+    assert_eq!(status, 200, "{body}");
+    let parsed = json::parse(&body).unwrap();
+    let result = &parsed.get("results").unwrap().as_arr().unwrap()[0];
+    let plan = result.get("plan").expect("plan report attached");
+    assert!(plan.get("decisions").unwrap().as_arr().is_some());
+    let trace = result.get("trace").expect("trace attached");
+    assert!(trace
+        .get("spans")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .any(|s| { s.get("op").and_then(json::Json::as_str) == Some("TRANSPOSE") }));
+    let stats = result.get("stats").unwrap();
+    assert!(stats.get("op_counts").unwrap().get("TRANSPOSE").is_some());
+}

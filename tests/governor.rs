@@ -705,6 +705,190 @@ fn trip_raise_rerun_keeps_naive_and_delta_in_agreement() {
 }
 
 // ---------------------------------------------------------------------
+// Trips landing on the delta engine's partial-state paths: these used
+// to sit next to `expect`/`unreachable!` sites; a trip must surface as
+// a clean `BudgetExceeded`, never a panic, on every engine path.
+// ---------------------------------------------------------------------
+
+/// A chain graph `n0 → … → n_len` as a tabular database `E[A, B]`.
+fn chain_db(len: usize) -> Database {
+    let rows: Vec<[String; 2]> = (0..len)
+        .map(|i| [format!("n{i}"), format!("n{}", i + 1)])
+        .collect();
+    let borrowed: Vec<Vec<&str>> = rows.iter().map(|r| vec![&*r[0], &*r[1]]).collect();
+    let slices: Vec<&[&str]> = borrowed.iter().map(|r| &r[..]).collect();
+    Database::from_tables([Table::relational("E", &["A", "B"], &slices)])
+}
+
+/// Transitive closure over `E` with the fused hash-join kernel in the
+/// loop body — the workload whose delta evaluation takes the
+/// incremental in-place append path.
+fn tc_fused_program() -> tables_paradigm::prelude::Program {
+    parse(
+        "TC <- COPY(E)
+         Frontier <- COPY(E)
+         while Frontier do
+           EStep <- COPY(E)
+           RTC <- RENAME[A -> A0](TC)
+           RTC <- RENAME[B -> B0](RTC)
+           Matched <- FUSEDJOIN[B0 = A](RTC, EStep)
+           Step <- PROJECT[{A0, B}](Matched)
+           Step <- RENAME[A0 -> A](Step)
+           Frontier <- DIFFERENCE(Step, TC)
+           TC <- CLASSICALUNION(TC, Frontier)
+         end",
+    )
+    .unwrap()
+}
+
+/// The delta engine's incremental *partitioned in-place append* commits
+/// through `Database::update_named` with the governor charging per
+/// partition — the engine path with the most partial state in flight
+/// when a budget trips. The trip must land after incremental appends
+/// have begun and still degrade into a clean partial report.
+#[test]
+fn cell_budget_trips_inside_the_delta_incremental_partitioned_append() {
+    let db = chain_db(24);
+    let mut lim = limits(WhileStrategy::Delta, usize::MAX);
+    lim.max_while_iters = usize::MAX;
+    lim.partition_threshold = 1; // force the partitioned kernel throughout
+                                 // Generous enough for several iterations (so append lineage exists),
+                                 // tight enough to trip well before the 24-chain closure completes.
+    let budget = Budget::from_limits(&lim).with_cell_budget(20_000);
+    let err = run_governed_traced(&tc_fused_program(), &db, &budget).unwrap_err();
+    let (resource, _, _, partial) = unwrap_trip(err);
+    assert_eq!(resource, governor::RESOURCE_RUN_CELLS);
+    assert!(
+        partial.stats.while_iterations >= 2,
+        "the trip lands mid-loop: {} iterations",
+        partial.stats.while_iterations
+    );
+    assert!(partial.stats.join_fused >= 1, "the fused kernel ran");
+    assert!(
+        partial.stats.partitioned_joins >= 1,
+        "the partitioned kernel ran before the trip"
+    );
+    assert_partial_trace(&partial.trace, "delta incremental append");
+
+    // The same program under an unlimited budget completes — a tripped
+    // run leaves no process-wide state that poisons a retry.
+    let unlimited = Budget::from_limits(&lim);
+    let (out, stats, _) = run_governed_traced(&tc_fused_program(), &db, &unlimited).unwrap();
+    assert_eq!(
+        out.table_str("TC").unwrap().height(),
+        24 * 25 / 2,
+        "chain closure size"
+    );
+    assert!(stats.partitioned_joins >= 1);
+}
+
+/// After the first iteration every body statement delta-skips, and each
+/// skip still charges the memoized production (keeping the trip point
+/// identical to naive re-execution) — so the budget trips *during a
+/// skip*, a path that touches the statement memos without executing
+/// anything. It must degrade cleanly, and at the same point as naive.
+#[test]
+fn cell_budget_trips_on_the_delta_skip_charge_path() {
+    let program = parse("while W do T <- PRODUCT(A, B) end").unwrap();
+    let db = Database::from_tables([
+        Table::relational("W", &["K"], &[&["go"]]),
+        Table::relational("A", &["A1"], &[&["a"], &["b"], &["c"], &["d"]]),
+        Table::relational("B", &["B1"], &[&["x"], &["y"], &["z"], &["w"]]),
+    ]);
+    // PRODUCT(A, B): 16 rows × 2 cols = 17·3 = 51 cells per iteration,
+    // executed once then skip-charged; 180 cells admits 3 charges and
+    // trips on the 4th — during the third consecutive skip.
+    let mut msgs = Vec::new();
+    for strategy in [WhileStrategy::Delta, WhileStrategy::Naive] {
+        let mut lim = limits(strategy, usize::MAX);
+        lim.max_while_iters = usize::MAX;
+        let budget = Budget::from_limits(&lim).with_cell_budget(180);
+        let err = run_governed_traced(&program, &db, &budget).unwrap_err();
+        let msg = err.to_string();
+        let (resource, spent, _, partial) = unwrap_trip(err);
+        assert_eq!(resource, governor::RESOURCE_RUN_CELLS);
+        assert_eq!(
+            spent, 204,
+            "{strategy:?}: trip on the fourth 51-cell charge"
+        );
+        if strategy == WhileStrategy::Delta {
+            assert!(
+                partial.stats.while_delta_skipped >= 2,
+                "the trip interrupted a skip, not an execution"
+            );
+        }
+        assert_partial_trace(&partial.trace, &format!("{strategy:?} skip charge"));
+        msgs.push(msg);
+    }
+    assert_eq!(msgs[0], msgs[1], "skip charges keep the naive trip point");
+}
+
+// ---------------------------------------------------------------------
+// Two sessions, one CancelToken: the multi-tenant server cancels all of
+// a client's concurrent runs through a single shared token. Each run
+// owns its metrics registry, so each partial trace must contain exactly
+// its own spans, drained exactly once (`Metrics::abort_open`).
+// ---------------------------------------------------------------------
+
+#[test]
+fn two_sessions_sharing_a_token_drain_only_their_own_spans() {
+    let token = CancelToken::new();
+    // Distinguishable workloads: session A spins on COPY, session B on
+    // TRANSPOSE, so a span drained into the wrong trace is visible.
+    let run_session = |program: tables_paradigm::prelude::Program, token: CancelToken| {
+        std::thread::spawn(move || {
+            let mut lim = limits(WhileStrategy::Delta, usize::MAX);
+            lim.max_while_iters = usize::MAX;
+            let budget = Budget::from_limits(&lim).with_cancel(token);
+            run_governed_traced(&program, &spin_database(), &budget)
+        })
+    };
+    let a = run_session(spin_program(), token.clone());
+    let b = run_session(
+        parse(
+            "while W do
+               T <- TRANSPOSE(A)
+               A <- TRANSPOSE(B)
+               B <- TRANSPOSE(T)
+             end",
+        )
+        .unwrap(),
+        token.clone(),
+    );
+    std::thread::sleep(Duration::from_millis(40));
+    token.cancel();
+
+    let allowed: [(&str, &[&str]); 2] = [("A", &["COPY", "while"]), ("B", &["TRANSPOSE", "while"])];
+    for (handle, (session, ops)) in [a, b].into_iter().zip(allowed) {
+        let err = handle.join().unwrap().unwrap_err();
+        let (resource, _, _, partial) = unwrap_trip(err);
+        assert_eq!(
+            resource,
+            governor::RESOURCE_CANCELLED,
+            "session {session}: the shared token stopped the run"
+        );
+        assert!(
+            partial.stats.while_iterations > 0,
+            "session {session} ran until the cancel"
+        );
+        assert_partial_trace(&partial.trace, &format!("session {session}"));
+        let mut seen = std::collections::HashSet::new();
+        for span in partial.trace.spans() {
+            assert!(
+                ops.contains(&span.op) || span.op == "shard",
+                "session {session}: foreign span {:?} in this session's trace",
+                span.op
+            );
+            assert!(
+                seen.insert(span.id),
+                "session {session}: span {} drained twice",
+                span.id
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // The validator validates (and rejects garbage)
 // ---------------------------------------------------------------------
 

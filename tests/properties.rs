@@ -641,6 +641,68 @@ proptest! {
 }
 
 // ----------------------------------------------------------------------
+// The parser faces untrusted wire input (the query service feeds request
+// bodies straight into it): on arbitrary garbage it must return
+// `Err(Parse)` or a valid program — never panic, and never recurse
+// past its depth cap (a stack overflow aborts the whole service).
+// ----------------------------------------------------------------------
+
+/// A valid program exercising every operation, used as the seed for the
+/// truncation property below.
+const TRUNCATION_SEED: &str = "T <- UNION(R, S)\n\
+     T <- RENAME[A -> B](R)\n\
+     T <- PROJECT[{A, * \\ B}](R)\n\
+     T <- SELECTCONST[A = v:50](R)\n\
+     T <- GROUP[by {Region} on {Sold}](R)\n\
+     T <- FUSEDRESTRUCTURE[group by {Region} on {Sold} cleanup by {Part} on {_} purge on {Sold} by {Region}](R)\n\
+     T <- SWITCH[(Region, \"quoted \\\" string\")](R)\n\
+     while T do T2 <- DIFFERENCE(T, *1) end\n";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte strings (lossily decoded, as the service decodes
+    /// request bodies) parse to `Ok` or `Err`, never a panic.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        use tables_paradigm::algebra::parser::parse;
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = parse(&src);
+    }
+
+    /// Strings over the grammar's own alphabet — keywords, operators,
+    /// brackets, tags, quotes, multibyte identifiers — hit far deeper
+    /// parser paths than uniform bytes; still no panics.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        src in "[a-zA-Z0-9_vn:×λ京\\-<>=\\(\\)\\[\\]\\{\\}\\n,\\\\*\"' .]{0,120}",
+    ) {
+        use tables_paradigm::algebra::parser::parse;
+        let _ = parse(&src);
+    }
+
+    /// Truncating a valid program at any byte (snapped to a char
+    /// boundary), optionally with garbage appended at the cut, never
+    /// panics.
+    #[test]
+    fn parser_never_panics_on_truncated_programs(
+        cut in 0usize..1024,
+        tail in "[a-z\\(\\[\\{\"\\\\]{0,8}",
+    ) {
+        use tables_paradigm::algebra::parser::parse;
+        let mut cut = cut.min(TRUNCATION_SEED.len());
+        while !TRUNCATION_SEED.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &TRUNCATION_SEED[..cut];
+        let _ = parse(truncated);
+        let _ = parse(&format!("{truncated}{tail}"));
+    }
+}
+
+// ----------------------------------------------------------------------
 // Degenerate-shape pins for GROUP and the fused restructuring kernel.
 // ----------------------------------------------------------------------
 
