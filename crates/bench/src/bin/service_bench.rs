@@ -1,23 +1,34 @@
-//! The query-service mixed-workload driver: sustained QPS and tail
-//! latency for the `tabular-server` HTTP service, pinned in
-//! `BENCH_9.json`.
+//! The query-service scaling driver: sustained QPS across a
+//! client-count sweep plus tail latency and snapshot-isolation
+//! figures for the `tabular-server` HTTP service, pinned in
+//! `BENCH_10.json`.
 //!
 //! ```sh
 //! cargo run -p tabular-bench --bin service_bench --release
 //! ```
 //!
-//! Two measurements over real sockets against an in-process server:
+//! Three measurements over real sockets against an in-process server:
 //!
-//! 1. **Mixed workload** — N keep-alive clients cycling point queries
-//!    (a projection scan), pivots (the paper's GROUP → CLEAN-UP →
-//!    PURGE cross-tabulation), and transitive-closure fixpoints (the
-//!    fused-join `while` loop), reporting sustained QPS and p50/p99
-//!    per class.
-//! 2. **Snapshot isolation** — readers and a committing writer in one
-//!    session, alone and together. Queries run against an O(1)
-//!    `Database::snapshot` taken under a short lock, so neither side
-//!    should move the other's figures much; the reader p99 ratio and
-//!    writer commit-rate ratio quantify it.
+//! 1. **Client sweep** — 1/4/16/64 keep-alive clients cycling point
+//!    queries (a projection scan), pivots (the paper's GROUP →
+//!    CLEAN-UP → PURGE cross-tabulation), and transitive-closure
+//!    fixpoints (the fused-join `while` loop), reporting sustained QPS
+//!    and p50/p99 per count. The 4-client point is the no-regression
+//!    anchor against `BENCH_9.json`.
+//! 2. **Core-scaling projection** — the reactor's `worker_busy_us` /
+//!    `reactor_busy_us` counters give the CPU seconds each layer
+//!    consumed per phase. On a single-core host the sweep saturates
+//!    the core (measured QPS is flat past saturation), so — as with
+//!    `BENCH_7.json`'s shard-pool projection — a multi-core figure is
+//!    projected from measured busy time: workers parallelize across
+//!    cores while the reactor stays serial, so projected wall ≈
+//!    max(reactor_busy, worker_busy / (cores − 1)).
+//! 3. **Snapshot isolation** — readers and a committing writer in one
+//!    session, alone and together, unchanged from BENCH_9.
+//!
+//! Every request in the sweep goes through the epoll reactor and the
+//! bounded worker pool, not a per-connection thread: 64 clients cost
+//! 64 slab slots, not 64 server threads.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -29,10 +40,11 @@ use tabular_algebra::pretty;
 use tabular_bench::ta_tc_fused_program;
 use tabular_server::{json, Config, Server};
 
-const CLIENTS: usize = 4;
+const SWEEP: [usize; 4] = [1, 4, 16, 64];
 const MIXED_SECS: f64 = 2.0;
 const PHASE_SECS: f64 = 1.2;
 const CHAIN: usize = 24;
+const PROJECTED_CORES: f64 = 8.0;
 
 /// A keep-alive HTTP client.
 struct Client {
@@ -213,11 +225,25 @@ fn run_phase(
     merged
 }
 
+/// One sweep point's measured figures.
+struct SweepPoint {
+    clients: usize,
+    qps: f64,
+    p50_us: u128,
+    p99_us: u128,
+    requests: usize,
+    wall_s: f64,
+    worker_busy_s: f64,
+    reactor_busy_s: f64,
+    class_stats: Vec<(usize, u128, u128)>,
+}
+
 fn main() {
     let (addr, service) = Server::bind(Config {
         addr: "127.0.0.1:0".into(),
         default_deadline_ms: None,
         default_cell_budget: None,
+        workers: 0,
     })
     .expect("bind")
     .spawn()
@@ -227,27 +253,61 @@ fn main() {
     let commit = format!("/sessions/{session}/query");
     let tc = pretty::render(&ta_tc_fused_program());
 
-    // -- Phase 1: mixed workload, sustained QPS --
+    // -- Phase 1: mixed workload across the client sweep --
     let point_body = query_body(POINT);
     let pivot_body = query_body(PIVOT);
     let tc_body = query_body(&tc);
     let bodies = [point_body.as_str(), pivot_body.as_str(), tc_body.as_str()];
-    let started = Instant::now();
-    let mixed = run_phase(addr, &query, &bodies, CLIENTS, MIXED_SECS);
-    let mixed_wall = started.elapsed().as_secs_f64();
-    let qps = mixed.len() as f64 / mixed_wall;
-    let (all_n, all_p50, all_p99) = stats_of(mixed.iter().map(|(_, us)| *us).collect());
-    let class_stats: Vec<(usize, u128, u128)> = (0..3)
-        .map(|class| {
-            stats_of(
-                mixed
-                    .iter()
-                    .filter(|(c, _)| *c == class)
-                    .map(|(_, us)| *us)
-                    .collect(),
-            )
-        })
-        .collect();
+    let mut sweep = Vec::new();
+    for &clients in &SWEEP {
+        let worker0 = service.counters.worker_busy_us.load(Ordering::Relaxed);
+        let reactor0 = service.counters.reactor_busy_us.load(Ordering::Relaxed);
+        let started = Instant::now();
+        let mixed = run_phase(addr, &query, &bodies, clients, MIXED_SECS);
+        let wall_s = started.elapsed().as_secs_f64();
+        let worker_busy_s =
+            (service.counters.worker_busy_us.load(Ordering::Relaxed) - worker0) as f64 / 1e6;
+        let reactor_busy_s =
+            (service.counters.reactor_busy_us.load(Ordering::Relaxed) - reactor0) as f64 / 1e6;
+        let (requests, p50_us, p99_us) = stats_of(mixed.iter().map(|(_, us)| *us).collect());
+        let class_stats: Vec<(usize, u128, u128)> = (0..3)
+            .map(|class| {
+                stats_of(
+                    mixed
+                        .iter()
+                        .filter(|(c, _)| *c == class)
+                        .map(|(_, us)| *us)
+                        .collect(),
+                )
+            })
+            .collect();
+        let qps = requests as f64 / wall_s;
+        eprintln!(
+            "{clients:>3} clients: {qps:.0} qps (p50 {p50_us}µs, p99 {p99_us}µs; \
+             worker {worker_busy_s:.2}s + reactor {reactor_busy_s:.2}s busy over {wall_s:.2}s)"
+        );
+        sweep.push(SweepPoint {
+            clients,
+            qps,
+            p50_us,
+            p99_us,
+            requests,
+            wall_s,
+            worker_busy_s,
+            reactor_busy_s,
+            class_stats,
+        });
+    }
+    let qps_4 = sweep.iter().find(|p| p.clients == 4).expect("4-client").qps;
+    let wide = sweep.last().expect("sweep");
+    let qps_64_over_4 = wide.qps / qps_4;
+    // Multi-core projection from measured busy time (the BENCH_7
+    // method): workers spread across cores − 1 while the reactor
+    // stays serial on its own core.
+    let projected_wall = (wide.worker_busy_s / (PROJECTED_CORES - 1.0)).max(wide.reactor_busy_s);
+    let projected_qps_64 = wide.requests as f64 / projected_wall.max(1e-9);
+    let projected_64_over_4 = projected_qps_64 / qps_4;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     // -- Phase 2: snapshot isolation, readers × writer --
     let readers_alone = run_phase(addr, &query, &[&pivot_body], 2, PHASE_SECS);
@@ -287,38 +347,74 @@ fn main() {
 
     let trips = service.counters.budget_trips.load(Ordering::Relaxed);
     assert_eq!(trips, 0, "no admission trips expected in this workload");
+    let accepted = service
+        .counters
+        .connections_accepted
+        .load(Ordering::Relaxed);
 
     let class_names = ["point", "pivot", "tc"];
+    let mut sweep_json = String::from("  \"sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        let comma = if i + 1 < sweep.len() { "," } else { "" };
+        sweep_json.push_str(&format!(
+            "    {{\"clients\": {}, \"requests\": {}, \"wall_ms\": {:.0}, \"qps\": {:.1}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"worker_busy_ms\": {:.0}, \
+             \"reactor_busy_ms\": {:.0}}}{comma}\n",
+            p.clients,
+            p.requests,
+            p.wall_s * 1000.0,
+            p.qps,
+            p.p50_us,
+            p.p99_us,
+            p.worker_busy_s * 1000.0,
+            p.reactor_busy_s * 1000.0,
+        ));
+    }
+    sweep_json.push_str("  ],\n");
+    let anchor = sweep.iter().find(|p| p.clients == 4).expect("4-client");
     let mut class_json = String::new();
-    for (name, (n, p50, p99)) in class_names.iter().zip(&class_stats) {
+    for (name, (n, p50, p99)) in class_names.iter().zip(&anchor.class_stats) {
         class_json.push_str(&format!(
-            "  \"{name}_requests\": {n},\n  \"{name}_p50_us\": {p50},\n  \"{name}_p99_us\": {p99},\n",
+            "  \"clients4_{name}_requests\": {n},\n  \"clients4_{name}_p50_us\": {p50},\n  \
+             \"clients4_{name}_p99_us\": {p99},\n",
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"service_mixed_workload\",\n  \"clients\": {CLIENTS},\n  \
-         \"mixed_wall_ms\": {:.0},\n  \"requests\": {all_n},\n  \"qps\": {qps:.1},\n  \
-         \"p50_us\": {all_p50},\n  \"p99_us\": {all_p99},\n{class_json}  \
+        "{{\n  \"bench\": \"service_scaling\",\n  \"host_cores\": {cores},\n{sweep_json}  \
+         \"qps_4_clients\": {qps_4:.1},\n  \"qps_64_clients\": {:.1},\n  \
+         \"qps_64_over_4_measured\": {qps_64_over_4:.2},\n  \
+         \"qps_64_projected_{pc}core\": {projected_qps_64:.1},\n  \
+         \"qps_64_over_4_projected_{pc}core\": {projected_64_over_4:.2},\n{class_json}  \
+         \"connections_accepted\": {accepted},\n  \
          \"reader_alone_p99_us\": {reader_alone_p99},\n  \
          \"reader_with_writer_p99_us\": {reader_contended_p99},\n  \
          \"writer_alone_commits_per_s\": {writer_alone_rate:.1},\n  \
          \"writer_with_readers_commits_per_s\": {writer_contended_rate:.1},\n  \
          \"budget_trips\": {trips},\n  \
-         \"method\": \"in-process tabular-serve over loopback sockets; {CLIENTS} keep-alive \
-         clients cycle 70% point projections, 20% GROUP/CLEANUP/PURGE pivots, 10% fused-join \
-         TC fixpoints over a {CHAIN}-edge chain, all readonly against Database::snapshot; \
-         isolation phases rerun pivot readers and a committing PRODUCT writer in one session, \
-         alone and together, for {PHASE_SECS}s each; latencies are whole-request wall times \
-         measured client-side\"\n}}\n",
-        mixed_wall * 1000.0,
+         \"method\": \"in-process tabular-serve (epoll reactor + bounded worker pool) over \
+         loopback sockets; 1/4/16/64 keep-alive clients cycle 70% point projections, 20% \
+         GROUP/CLEANUP/PURGE pivots, 10% fused-join TC fixpoints over a {CHAIN}-edge chain, \
+         all readonly against Database::snapshot, {MIXED_SECS}s per sweep point; \
+         worker_busy/reactor_busy are the /stats CPU-time counters per phase; the projected \
+         figure assumes workers spread over cores-1 with the reactor serial on its own core \
+         (max(reactor_busy, worker_busy/{pcm})), the BENCH_7 projection method; isolation \
+         phases rerun pivot readers and a committing PRODUCT writer in one session, alone and \
+         together, for {PHASE_SECS}s each; latencies are whole-request wall times measured \
+         client-side\"\n}}\n",
+        wide.qps,
+        pc = PROJECTED_CORES as usize,
+        pcm = PROJECTED_CORES as usize - 1,
     );
-    if let Err(e) = std::fs::write("BENCH_9.json", &json) {
-        eprintln!("could not write BENCH_9.json: {e}");
+    if let Err(e) = std::fs::write("BENCH_10.json", &json) {
+        eprintln!("could not write BENCH_10.json: {e}");
     }
     println!("{json}");
     println!(
-        "mixed: {all_n} requests at {qps:.0} qps (p50 {all_p50}µs, p99 {all_p99}µs); \
-         reader p99 {reader_alone_p99}µs alone vs {reader_contended_p99}µs with writer; \
-         writer {writer_alone_rate:.0}/s alone vs {writer_contended_rate:.0}/s with readers"
+        "sweep: 4 clients {qps_4:.0} qps → 64 clients {:.0} qps measured \
+         ({qps_64_over_4:.2}x on {cores} core(s)), {projected_qps_64:.0} qps projected on \
+         {} cores ({projected_64_over_4:.2}x); reader p99 {reader_alone_p99}µs alone vs \
+         {reader_contended_p99}µs with writer; writer {writer_alone_rate:.0}/s alone vs \
+         {writer_contended_rate:.0}/s with readers",
+        wide.qps, PROJECTED_CORES as usize,
     );
 }

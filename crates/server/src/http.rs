@@ -1,14 +1,23 @@
-//! A minimal HTTP/1.1 reader/writer over `std::net`.
+//! A minimal HTTP/1.1 parser/encoder for the epoll reactor.
 //!
 //! The offline vendor set has no async runtime and no HTTP crate, so
 //! the service speaks a deliberately small slice of HTTP/1.1: request
-//! line + headers + `Content-Length` body (no chunked encoding, no
-//! 100-continue), keep-alive by default, hard caps on header and body
-//! sizes. Everything read here is untrusted wire input — every
-//! malformed shape must come back as an error value, never a panic.
+//! line + headers + `Content-Length` body (chunked transfer encoding
+//! answers 501, 100-continue is not spoken), keep-alive by default,
+//! hard caps on header and body sizes. Everything parsed here is
+//! untrusted wire input — every malformed shape must come back as an
+//! error value, never a panic.
+//!
+//! Parsing is *incremental*: [`parse_request`] looks at a byte buffer
+//! the reactor has accumulated so far and either yields one complete
+//! request (telling the caller how many bytes it consumed, so
+//! pipelined followers stay in the buffer), asks for more bytes, or
+//! rejects the prefix as malformed. The caps apply to partial input
+//! too: a head that exceeds [`MAX_HEAD`] without terminating is
+//! rejected *before* its blank line ever arrives, which is what closes
+//! slow-loris connections.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::Write as _;
 
 /// Cap on the request head (request line + headers).
 pub const MAX_HEAD: usize = 16 * 1024;
@@ -56,149 +65,124 @@ impl Request {
     }
 }
 
-/// Why a request could not be read.
+/// The outcome of examining the buffered prefix of a connection.
 #[derive(Debug)]
-pub enum ReadError {
-    /// Transport failure; drop the connection silently.
-    Io(std::io::Error),
-    /// The bytes were not a request this server accepts; answer with
-    /// the carried status (400 or 413) and close.
+pub enum Parsed {
+    /// The buffer holds no complete request yet; read more bytes.
+    Incomplete,
+    /// One request parsed from the first `usize` bytes of the buffer
+    /// (pipelined followers begin right after).
+    Request(Box<Request>, usize),
+    /// The bytes are not a request this server accepts; answer with
+    /// the carried status (400, 413, or 501) and close.
     Malformed(u16, String),
 }
 
-impl From<std::io::Error> for ReadError {
-    fn from(e: std::io::Error) -> ReadError {
-        ReadError::Io(e)
-    }
+fn malformed(status: u16, msg: &str) -> Parsed {
+    Parsed::Malformed(status, msg.to_string())
 }
 
-/// Read one request. `Ok(None)` means the client closed the connection
-/// cleanly between requests.
-pub fn read_request(r: &mut BufReader<TcpStream>) -> Result<Option<Request>, ReadError> {
-    // Head: everything up to the blank line, capped.
-    let mut head = Vec::new();
-    loop {
-        let line_start = head.len();
-        let n = read_line_capped(r, &mut head)?;
-        if n == 0 {
-            return if line_start == 0 {
-                Ok(None) // clean EOF before any byte of a request
+/// Incrementally parse one request from the front of `buf`.
+///
+/// Stateless re-scan: the head is capped at [`MAX_HEAD`] bytes, so
+/// re-examining it on every readiness event is O(cap) and the caller
+/// keeps no parser state beyond the byte buffer itself.
+pub fn parse_request(buf: &[u8]) -> Parsed {
+    // -- Head: scan line by line for the blank terminator --
+    let mut pos = 0;
+    let (head_len, body_start) = loop {
+        let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') else {
+            return if buf.len() > MAX_HEAD {
+                malformed(413, "request head too large")
             } else {
-                Err(ReadError::Malformed(400, "truncated request head".into()))
+                Parsed::Incomplete
             };
+        };
+        let line = &buf[pos..pos + nl];
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        if line.is_empty() {
+            break (pos, pos + nl + 1);
         }
-        // A line of just "\r\n" (or "\n") ends the head.
-        if head[line_start..] == b"\r\n"[..] || head[line_start..] == b"\n"[..] {
-            head.truncate(line_start);
-            break;
+        pos += nl + 1;
+        if pos > MAX_HEAD {
+            return malformed(413, "request head too large");
         }
-        if head.len() > MAX_HEAD {
-            return Err(ReadError::Malformed(413, "request head too large".into()));
-        }
-    }
+    };
 
-    let head = String::from_utf8(head)
-        .map_err(|_| ReadError::Malformed(400, "request head is not UTF-8".into()))?;
+    let Ok(head) = std::str::from_utf8(&buf[..head_len]) else {
+        return malformed(400, "request head is not UTF-8");
+    };
     let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| ReadError::Malformed(400, "empty request line".into()))?
-        .to_ascii_uppercase();
-    let target = parts
-        .next()
-        .ok_or_else(|| ReadError::Malformed(400, "request line has no target".into()))?;
+    let Some(method) = parts.next() else {
+        return malformed(400, "empty request line");
+    };
+    let method = method.to_ascii_uppercase();
+    let Some(target) = parts.next() else {
+        return malformed(400, "request line has no target");
+    };
     let version = parts.next().unwrap_or("HTTP/1.1");
     if !version.starts_with("HTTP/1.") {
-        return Err(ReadError::Malformed(
-            400,
-            format!("bad version {version:?}"),
-        ));
+        return Parsed::Malformed(400, format!("bad version {version:?}"));
     }
 
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
-    let path = percent_decode(raw_path)
-        .ok_or_else(|| ReadError::Malformed(400, "bad percent-encoding in path".into()))?;
+    let Some(path) = percent_decode(raw_path) else {
+        return malformed(400, "bad percent-encoding in path");
+    };
     let mut query = Vec::new();
     for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-        let k = percent_decode(k)
-            .ok_or_else(|| ReadError::Malformed(400, "bad percent-encoding in query".into()))?;
-        let v = percent_decode(v)
-            .ok_or_else(|| ReadError::Malformed(400, "bad percent-encoding in query".into()))?;
+        let (Some(k), Some(v)) = (percent_decode(k), percent_decode(v)) else {
+            return malformed(400, "bad percent-encoding in query");
+        };
         query.push((k, v));
     }
 
     let mut headers = Vec::new();
     for line in lines.filter(|l| !l.is_empty()) {
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| ReadError::Malformed(400, format!("bad header line {line:?}")))?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Parsed::Malformed(400, format!("bad header line {line:?}"));
+        };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let mut body = Vec::new();
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>())
-        .transpose()
-        .map_err(|_| ReadError::Malformed(400, "bad content-length".into()))?;
+    // The reader only understands Content-Length framing; a chunked
+    // body would be misread as pipelined garbage, so refuse loudly.
     if headers
         .iter()
         .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
     {
-        return Err(ReadError::Malformed(
-            400,
-            "chunked bodies unsupported".into(),
-        ));
+        return malformed(501, "chunked transfer encoding is not implemented");
     }
-    if let Some(len) = content_length {
-        if len > MAX_BODY {
-            return Err(ReadError::Malformed(413, "request body too large".into()));
-        }
-        body.resize(len, 0);
-        r.read_exact(&mut body)?;
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return malformed(400, "bad content-length"),
+        },
+    };
+    if content_length > MAX_BODY {
+        return malformed(413, "request body too large");
     }
+    let Some(body) = buf.get(body_start..body_start + content_length) else {
+        return Parsed::Incomplete;
+    };
 
-    Ok(Some(Request {
-        method,
-        path,
-        query,
-        headers,
-        body,
-    }))
-}
-
-/// `read_until(b'\n')` with the head cap applied mid-line, so a
-/// newline-free flood cannot grow the buffer unboundedly.
-fn read_line_capped(r: &mut BufReader<TcpStream>, out: &mut Vec<u8>) -> Result<usize, ReadError> {
-    let start = out.len();
-    loop {
-        let available = r.fill_buf()?;
-        if available.is_empty() {
-            return Ok(out.len() - start);
-        }
-        match available.iter().position(|&b| b == b'\n') {
-            Some(ix) => {
-                out.extend_from_slice(&available[..=ix]);
-                r.consume(ix + 1);
-                return Ok(out.len() - start);
-            }
-            None => {
-                let n = available.len();
-                out.extend_from_slice(available);
-                r.consume(n);
-                if out.len() > MAX_HEAD {
-                    return Err(ReadError::Malformed(413, "request head too large".into()));
-                }
-            }
-        }
-    }
+    Parsed::Request(
+        Box::new(Request {
+            method,
+            path,
+            query,
+            headers,
+            body: body.to_vec(),
+        }),
+        body_start + content_length,
+    )
 }
 
 /// Decode `%XX` escapes and `+` (as space); `None` on truncated or
@@ -228,14 +212,10 @@ fn percent_decode(s: &str) -> Option<String> {
     String::from_utf8(out).ok()
 }
 
-/// Write one response. Errors are returned for the caller to ignore —
-/// a client that disconnected mid-run cannot receive its answer.
-pub fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    body: &[u8],
-    keep_alive: bool,
-) -> std::io::Result<()> {
+/// Encode one response as wire bytes for the reactor's write queue.
+/// Head and body share one buffer: fragmented writes interact badly
+/// with Nagle + delayed ACK (~40ms stalls per response).
+pub fn encode_response(status: u16, body: &[u8], keep_alive: bool) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         201 => "Created",
@@ -247,10 +227,9 @@ pub fn write_response(
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         _ => "Response",
     };
-    // One buffered write: head and body in separate segments interact
-    // badly with Nagle + delayed ACK (~40ms stalls per response).
     let mut msg = Vec::with_capacity(128 + body.len());
     write!(
         msg,
@@ -261,13 +240,19 @@ pub fn write_response(
     )
     .expect("write to Vec");
     msg.extend_from_slice(body);
-    stream.write_all(&msg)?;
-    stream.flush()
+    msg
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn ok(buf: &[u8]) -> (Request, usize) {
+        match parse_request(buf) {
+            Parsed::Request(req, used) => (*req, used),
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
 
     #[test]
     fn percent_decoding() {
@@ -276,5 +261,109 @@ mod tests {
         assert!(percent_decode("%zz").is_none());
         assert!(percent_decode("%2").is_none());
         assert!(percent_decode("%ff").is_none()); // lone continuation byte
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_every_byte() {
+        let wire = b"POST /a?x=1 HTTP/1.1\r\nhost: t\r\ncontent-length: 4\r\n\r\nbodyNEXT";
+        // Every proper prefix up to the last body byte is Incomplete.
+        for cut in 0..wire.len() - 4 {
+            assert!(
+                matches!(parse_request(&wire[..cut]), Parsed::Incomplete),
+                "cut at {cut}"
+            );
+        }
+        let (req, used) = ok(wire);
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/a");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.body, b"body");
+        assert_eq!(&wire[used..], b"NEXT"); // pipelined follower preserved
+    }
+
+    #[test]
+    fn bare_lf_line_endings_parse() {
+        let (req, used) = ok(b"GET /healthz HTTP/1.1\nhost: t\n\n");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(used, 31);
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_is_501() {
+        let wire = b"POST /q HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n";
+        match parse_request(wire) {
+            Parsed::Malformed(501, _) => {}
+            other => panic!("chunked should be 501, got {other:?}"),
+        }
+        // `identity` is the degenerate allowed value.
+        let (req, _) =
+            ok(b"POST /q HTTP/1.1\r\ntransfer-encoding: identity\r\ncontent-length: 2\r\n\r\nhi");
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn head_cap_applies_to_partial_heads() {
+        // A newline-free flood larger than the cap is rejected even
+        // though its head never terminates — the slow-loris guard.
+        let flood = vec![b'a'; MAX_HEAD + 1];
+        assert!(matches!(parse_request(&flood), Parsed::Malformed(413, _)));
+        // So is a many-lines head that exceeds the cap.
+        let mut lines = b"GET / HTTP/1.1\r\n".to_vec();
+        while lines.len() <= MAX_HEAD {
+            lines.extend_from_slice(b"x-pad: aaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        assert!(matches!(parse_request(&lines), Parsed::Malformed(413, _)));
+        // But a sub-cap partial head just waits.
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nhost:"),
+            Parsed::Incomplete
+        ));
+    }
+
+    #[test]
+    fn malformed_shapes_reject() {
+        assert!(matches!(parse_request(b"\r\n"), Parsed::Malformed(400, _)));
+        assert!(matches!(
+            parse_request(b"GET\r\n\r\n"),
+            Parsed::Malformed(400, _)
+        ));
+        assert!(matches!(
+            parse_request(b"GET / SPDY/3\r\n\r\n"),
+            Parsed::Malformed(400, _)
+        ));
+        assert!(matches!(
+            parse_request(b"GET /%zz HTTP/1.1\r\n\r\n"),
+            Parsed::Malformed(400, _)
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nno colon here\r\n\r\n"),
+            Parsed::Malformed(400, _)
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\ncontent-length: much\r\n\r\n"),
+            Parsed::Malformed(400, _)
+        ));
+        let huge = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            parse_request(huge.as_bytes()),
+            Parsed::Malformed(413, _)
+        ));
+    }
+
+    #[test]
+    fn responses_encode_with_status_reasons() {
+        let bytes = encode_response(501, b"{}", false);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 501 Not Implemented\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("connection: close"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
     }
 }

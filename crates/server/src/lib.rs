@@ -9,25 +9,28 @@
 //! across the concurrent statements of one request, and cooperative
 //! cancellation when the client disconnects mid-run.
 //!
-//! The transport is a deliberately small hand-rolled HTTP/1.1 over
-//! `std::net` (the offline vendor set has no async runtime): one
-//! thread per connection with keep-alive, which matches the service's
-//! shape — queries are admission-controlled CPU work, not massive I/O
-//! fan-in, so the governor (not the event loop) is what bounds load.
-//!
-//! See [`service`] for the route table and wire protocol.
+//! The transport is a hand-rolled epoll reactor over `std::net` (the
+//! offline vendor set has no async runtime; the epoll syscalls are
+//! raw `extern "C"` declarations against the libc the binary already
+//! links): one reactor thread multiplexes every connection, parses
+//! HTTP/1.1 incrementally with pipelining, and dispatches complete
+//! requests to a bounded worker pool that runs the governed query
+//! path. Connection count no longer costs a thread apiece, and a
+//! client hangup cancels its in-flight run via `EPOLLRDHUP` — see the
+//! `reactor` module internals and [`service`] for the route table and
+//! wire protocol.
 
 #![warn(missing_docs)]
 
 pub mod http;
 pub mod json;
+mod reactor;
 pub mod service;
 pub mod session;
 
 pub use service::{Config, Response, Service};
 
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
 
 /// A bound listener plus its shared service state.
@@ -56,19 +59,15 @@ impl Server {
         Arc::clone(&self.service)
     }
 
-    /// Serve forever on the calling thread: accept connections and
-    /// handle each on its own thread.
+    /// Serve forever on the calling thread: the epoll reactor loop.
+    /// Returns only if the epoll instance itself fails.
     pub fn run(self) -> std::io::Result<()> {
-        for stream in self.listener.incoming() {
-            let Ok(stream) = stream else { continue };
-            let service = Arc::clone(&self.service);
-            std::thread::spawn(move || handle_connection(&service, stream));
-        }
-        Ok(())
+        let workers = self.service.config.workers;
+        reactor::Reactor::new(self.listener, self.service, workers)?.run()
     }
 
     /// Serve on a background thread; returns the bound address and the
-    /// shared service state. The listener thread runs for the life of
+    /// shared service state. The reactor thread runs for the life of
     /// the process (tests just let it die with the harness).
     pub fn spawn(self) -> std::io::Result<(SocketAddr, Arc<Service>)> {
         let addr = self.local_addr()?;
@@ -77,38 +76,5 @@ impl Server {
             let _ = self.run();
         });
         Ok((addr, service))
-    }
-}
-
-/// One connection: read requests until the client closes, routing each
-/// through the service. Malformed requests answer with their status
-/// and close; transport errors close silently.
-fn handle_connection(service: &Service, mut stream: TcpStream) {
-    // Responses are written whole; waiting out Nagle would add ~40ms
-    // of idle latency per round trip on loopback.
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    loop {
-        match http::read_request(&mut reader) {
-            Ok(None) | Err(http::ReadError::Io(_)) => return,
-            Err(http::ReadError::Malformed(status, msg)) => {
-                let body = format!("{{\"ok\":false,\"error\":\"{}\"}}", json::escape(&msg));
-                let _ = http::write_response(&mut stream, status, body.as_bytes(), false);
-                return;
-            }
-            Ok(Some(req)) => {
-                let keep_alive = req.keep_alive();
-                let resp = service.handle(&req, Some(&stream));
-                if http::write_response(&mut stream, resp.status, resp.body.as_bytes(), keep_alive)
-                    .is_err()
-                    || !keep_alive
-                {
-                    return;
-                }
-            }
-        }
     }
 }

@@ -2,23 +2,26 @@
 //!
 //! ```sh
 //! tabular-serve [--addr <host:port>] [--default-deadline-ms <N>]
-//!               [--default-cell-budget <N>]
+//!               [--default-cell-budget <N>] [--workers <N>]
 //! ```
 //!
 //! `--default-deadline-ms` and `--default-cell-budget` set the
 //! admission-control defaults applied to every query request; clients
 //! may override per request with `?deadline_ms=` / `?cell_budget=`.
+//! `--workers` sizes the query worker pool behind the epoll reactor
+//! (default: auto from the available parallelism).
 
 use std::process::ExitCode;
 
 use tabular_server::{Config, Server};
 
 const USAGE: &str = "usage: tabular-serve [--addr <host:port>] \
-[--default-deadline-ms <N>] [--default-cell-budget <N>]\n\
+[--default-deadline-ms <N>] [--default-cell-budget <N>] [--workers <N>]\n\
 \n\
 --addr <host:port>          listen address (default 127.0.0.1:7878)\n\
 --default-deadline-ms <N>   admission default: per-request wall-clock deadline\n\
 --default-cell-budget <N>   admission default: per-request cumulative cell budget\n\
+--workers <N>               query worker threads behind the reactor (default: auto)\n\
 Clients override per request with ?deadline_ms= / ?cell_budget= on\n\
 POST /sessions/{id}/query.";
 
@@ -43,6 +46,10 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
                     v.parse()
                         .map_err(|_| format!("bad --default-cell-budget {v:?}"))?,
                 );
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a number")?;
+                config.workers = v.parse().map_err(|_| format!("bad --workers {v:?}"))?;
             }
             "--help" | "-h" => return Err(USAGE.into()),
             _ => return Err(format!("unknown flag {arg}\n{USAGE}")),
@@ -93,13 +100,18 @@ mod tests {
             "250".into(),
             "--default-cell-budget".into(),
             "100000".into(),
+            "--workers".into(),
+            "8".into(),
         ])
         .unwrap();
         assert_eq!(config.addr, "127.0.0.1:0");
         assert_eq!(config.default_deadline_ms, Some(250));
         assert_eq!(config.default_cell_budget, Some(100_000));
+        assert_eq!(config.workers, 8);
+        assert_eq!(Config::default().workers, 0, "0 means auto-size");
         assert!(parse_args(&["--addr".into()]).is_err());
         assert!(parse_args(&["--default-deadline-ms".into(), "soon".into()]).is_err());
+        assert!(parse_args(&["--workers".into(), "many".into()]).is_err());
         assert!(parse_args(&["--nope".into()]).is_err());
     }
 }

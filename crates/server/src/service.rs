@@ -4,11 +4,11 @@
 //! a [`Budget`] assembled from the server defaults
 //! (`--default-deadline-ms` / `--default-cell-budget`) with optional
 //! per-request overrides (`?deadline_ms=` / `?cell_budget=`), plus a
-//! per-request [`CancelToken`] that a disconnect watcher trips when the
-//! client goes away mid-run. A request carrying several programs
-//! shares one admission grant: the budget is [`Budget::split`] across
-//! the statements, which run concurrently against the same snapshot
-//! and share the cancel token.
+//! per-request [`CancelToken`] supplied by the epoll reactor, which
+//! trips it on `EPOLLRDHUP`/EOF when the client goes away mid-run. A
+//! request carrying several programs shares one admission grant: the
+//! budget is [`Budget::split`] across the statements, which run
+//! concurrently against the same snapshot and share the cancel token.
 //!
 //! Routes:
 //!
@@ -31,8 +31,7 @@
 //! errors are 422, broken engine invariants are 500.
 
 use std::fmt::Write as _;
-use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -55,6 +54,10 @@ pub struct Config {
     pub default_deadline_ms: Option<u64>,
     /// Admission default: cumulative cell budget per query request.
     pub default_cell_budget: Option<usize>,
+    /// Query worker threads behind the reactor (0 = auto: the
+    /// available parallelism, floored at 4 so short queries are not
+    /// head-of-line blocked behind one long fixpoint on small hosts).
+    pub workers: usize,
 }
 
 impl Default for Config {
@@ -63,11 +66,13 @@ impl Default for Config {
             addr: "127.0.0.1:7878".into(),
             default_deadline_ms: None,
             default_cell_budget: None,
+            workers: 0,
         }
     }
 }
 
-/// Monotonic service counters (`GET /stats`).
+/// Service counters (`GET /stats`): monotonic totals plus the
+/// reactor's `connections_open` gauge.
 #[derive(Default)]
 pub struct Counters {
     /// Requests routed (any method).
@@ -76,13 +81,27 @@ pub struct Counters {
     pub queries: AtomicU64,
     /// Programs stopped by a budget trip (deadline, cells, or cancel).
     pub budget_trips: AtomicU64,
-    /// Runs cancelled because the client disconnected mid-run. Behind
-    /// an `Arc` because the detached disconnect watchers outlive their
-    /// requests and count for themselves.
-    pub disconnect_cancels: Arc<AtomicU64>,
+    /// Runs cancelled because the reactor saw the client hang up
+    /// (`EPOLLRDHUP`/EOF) while their request was in flight.
+    pub disconnect_cancels: AtomicU64,
+    /// Connections currently registered with the reactor (gauge).
+    pub connections_open: AtomicU64,
+    /// Connections accepted since startup.
+    pub connections_accepted: AtomicU64,
+    /// Requests parsed while an earlier request from the same
+    /// connection was still queued or in flight (HTTP/1.1 pipelining).
+    pub pipelined_requests: AtomicU64,
+    /// Cumulative CPU microseconds worker threads consumed executing
+    /// requests (`CLOCK_THREAD_CPUTIME_ID`, so descheduled time on an
+    /// oversubscribed host does not count; feeds the scaling bench's
+    /// multi-core projection).
+    pub worker_busy_us: AtomicU64,
+    /// Cumulative CPU microseconds the reactor thread consumed
+    /// processing events (accept, parse, dispatch, write).
+    pub reactor_busy_us: AtomicU64,
 }
 
-/// The shared service state behind every connection thread.
+/// The shared service state behind the reactor and its worker pool.
 pub struct Service {
     /// Configuration the server was started with.
     pub config: Config,
@@ -125,10 +144,10 @@ impl Service {
         }
     }
 
-    /// Route one request. `conn` is the client connection when the
-    /// request arrived over a socket — used only to watch for
-    /// disconnects during query execution.
-    pub fn handle(&self, req: &Request, conn: Option<&TcpStream>) -> Response {
+    /// Route one request. `cancel` is the per-request token the
+    /// reactor trips when the client hangs up mid-run
+    /// (`EPOLLRDHUP`/EOF); queries run their whole budget under it.
+    pub fn handle(&self, req: &Request, cancel: Option<&CancelToken>) -> Response {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         match (req.method.as_str(), segments.as_slice()) {
@@ -153,7 +172,7 @@ impl Service {
                 Err(resp) => resp,
             },
             ("POST", ["sessions", id, "query"]) => match self.session_for(id) {
-                Ok(session) => self.run_query(&session, req, conn),
+                Ok(session) => self.run_query(&session, req, cancel),
                 Err(resp) => resp,
             },
             (_, ["healthz" | "stats"]) | (_, ["sessions", ..]) => {
@@ -172,17 +191,29 @@ impl Service {
     fn stats_body(&self) -> String {
         format!(
             "{{\"ok\":true,\"sessions_open\":{},\"requests\":{},\"queries\":{},\
-             \"budget_trips\":{},\"disconnect_cancels\":{}}}",
+             \"budget_trips\":{},\"disconnect_cancels\":{},\"connections_open\":{},\
+             \"connections_accepted\":{},\"pipelined_requests\":{},\
+             \"worker_busy_us\":{},\"reactor_busy_us\":{}}}",
             self.sessions.len(),
             self.counters.requests.load(Ordering::Relaxed),
             self.counters.queries.load(Ordering::Relaxed),
             self.counters.budget_trips.load(Ordering::Relaxed),
             self.counters.disconnect_cancels.load(Ordering::Relaxed),
+            self.counters.connections_open.load(Ordering::Relaxed),
+            self.counters.connections_accepted.load(Ordering::Relaxed),
+            self.counters.pipelined_requests.load(Ordering::Relaxed),
+            self.counters.worker_busy_us.load(Ordering::Relaxed),
+            self.counters.reactor_busy_us.load(Ordering::Relaxed),
         )
     }
 
     /// Execute a query request: admit, snapshot, run, commit, render.
-    fn run_query(&self, session: &Session, req: &Request, conn: Option<&TcpStream>) -> Response {
+    fn run_query(
+        &self,
+        session: &Session,
+        req: &Request,
+        cancel: Option<&CancelToken>,
+    ) -> Response {
         // -- Decode and parse (any failure here is the client's: 400) --
         let Ok(body) = std::str::from_utf8(&req.body) else {
             return Response::error(400, "request body is not UTF-8");
@@ -242,8 +273,10 @@ impl Service {
             },
             ..EvalLimits::default()
         };
-        let token = CancelToken::new();
-        let mut budget = Budget::from_limits(&limits).with_cancel(token.clone());
+        // The reactor owns disconnect detection: it trips this token
+        // on EPOLLRDHUP/EOF, so no per-request watcher thread exists.
+        let token = cancel.cloned().unwrap_or_else(CancelToken::new);
+        let mut budget = Budget::from_limits(&limits).with_cancel(token);
         if let Some(ms) = deadline_ms {
             budget = budget.with_deadline(Duration::from_millis(ms));
         }
@@ -254,16 +287,6 @@ impl Service {
         // -- Snapshot under a short lock: reads never block writers --
         let snapshot = session.snapshot();
 
-        // -- Run, watching the connection for a mid-run disconnect --
-        let done = Arc::new(AtomicBool::new(false));
-        if let Some(c) = conn {
-            spawn_disconnect_watcher(
-                c,
-                token,
-                Arc::clone(&done),
-                Arc::clone(&self.counters.disconnect_cancels),
-            );
-        }
         self.counters
             .queries
             .fetch_add(programs.len() as u64, Ordering::Relaxed);
@@ -292,16 +315,6 @@ impl Service {
                     .collect()
             })
         };
-        done.store(true, Ordering::Release);
-        if let Some(c) = conn {
-            // The watcher put a poll timeout on the shared socket;
-            // restore blocking reads for the next keep-alive request.
-            // The watcher itself is not joined — its current poll may
-            // sleep a few more milliseconds, and the response should
-            // not wait for that; it exits on the `done` flag.
-            let _ = c.set_read_timeout(None);
-        }
-
         // -- Commit: a single mutating program replaces the session db --
         if !readonly {
             if let Some(Ok((out, ..))) = outcomes.first() {
@@ -457,49 +470,6 @@ fn override_param(req: &Request, name: &str) -> Result<Option<u64>, Response> {
             .map(Some)
             .map_err(|_| Response::error(400, &format!("bad {name} value {v:?}"))),
     }
-}
-
-/// Watch the client connection during a run; cancel the run's token on
-/// EOF (the client went away) and count it. Uses `peek`, so pipelined
-/// bytes of a next request are left in the socket. The thread is
-/// detached — the request path must not wait out the poll period.
-fn spawn_disconnect_watcher(
-    conn: &TcpStream,
-    token: CancelToken,
-    done: Arc<AtomicBool>,
-    cancels: Arc<AtomicU64>,
-) {
-    let Ok(peer) = conn.try_clone() else { return };
-    if peer
-        .set_read_timeout(Some(Duration::from_millis(1)))
-        .is_err()
-    {
-        return;
-    }
-    std::thread::spawn(move || {
-        let mut buf = [0u8; 1];
-        while !done.load(Ordering::Acquire) {
-            match peer.peek(&mut buf) {
-                Ok(0) => {
-                    token.cancel();
-                    cancels.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
-                // Bytes of a pipelined next request: still connected.
-                Ok(_) => std::thread::sleep(Duration::from_millis(1)),
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) => {}
-                Err(_) => {
-                    token.cancel();
-                    cancels.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
-            }
-        }
-    });
 }
 
 /// Render [`EvalStats`] as a flat JSON object (the scalar counters plus

@@ -5,11 +5,15 @@
 //! never hold the session lock while evaluating and a long analytical
 //! read never blocks a concurrent writer — the paper's restructuring
 //! pipelines can run for seconds, and admission control (not locking)
-//! is what bounds them.
+//! is what bounds them. Every critical section here is O(1), which is
+//! what lets the reactor's worker pool route into sessions without a
+//! lock ever becoming the connection-scaling bottleneck; the registry
+//! itself is read-mostly (one lookup per routed request against rare
+//! creates/removes), so it sits behind an `RwLock`.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use tabular_core::Database;
 
@@ -43,7 +47,7 @@ impl Session {
 #[derive(Default)]
 pub struct Sessions {
     next: AtomicU64,
-    map: Mutex<HashMap<u64, Arc<Session>>>,
+    map: RwLock<HashMap<u64, Arc<Session>>>,
 }
 
 impl Sessions {
@@ -54,16 +58,16 @@ impl Sessions {
             db: Mutex::new(Database::new()),
         });
         self.map
-            .lock()
+            .write()
             .unwrap_or_else(|e| e.into_inner())
             .insert(id, session);
         id
     }
 
-    /// Look up a live session.
+    /// Look up a live session (shared lock: the per-request hot path).
     pub fn get(&self, id: u64) -> Option<Arc<Session>> {
         self.map
-            .lock()
+            .read()
             .unwrap_or_else(|e| e.into_inner())
             .get(&id)
             .cloned()
@@ -72,7 +76,7 @@ impl Sessions {
     /// Close a session; `false` if it was not open.
     pub fn remove(&self, id: u64) -> bool {
         self.map
-            .lock()
+            .write()
             .unwrap_or_else(|e| e.into_inner())
             .remove(&id)
             .is_some()
@@ -80,7 +84,7 @@ impl Sessions {
 
     /// Number of open sessions.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.map.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether no sessions are open.

@@ -1,12 +1,15 @@
-//! Integration tests for the query service, over real sockets.
+//! Integration tests for the query service, over real sockets and
+//! through the epoll reactor.
 //!
-//! The contracts under test (ISSUE: "server integration tests"):
-//! sessions are isolated; a client disconnect cancels its in-flight
-//! run; a deadline trip answers 408 with the partial stats the
-//! governor carries; and malformed bodies are the client's error (400),
-//! never the server's (500).
+//! The contracts under test: sessions are isolated; a client
+//! disconnect cancels its in-flight run (reactor `EPOLLRDHUP`/EOF, no
+//! watcher thread); a deadline trip answers 408 with the partial
+//! stats the governor carries; malformed bodies are the client's
+//! error (400), never the server's (500); chunked transfer encoding
+//! is refused with 501; pipelined requests are answered in order; and
+//! one slow-loris connection cannot stall other clients.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -22,8 +25,41 @@ fn start(
         addr: "127.0.0.1:0".into(),
         default_deadline_ms,
         default_cell_budget,
+        workers: 0,
     };
     Server::bind(config).unwrap().spawn().unwrap()
+}
+
+/// Read one HTTP response from a keep-alive stream: status line,
+/// headers, content-length body.
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            content_length = v;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, String::from_utf8_lossy(&body).into_owned())
 }
 
 /// One-shot HTTP exchange (`connection: close`); returns status + body.
@@ -188,7 +224,7 @@ fn disconnect_mid_run_cancels_the_query() {
         );
         std::thread::sleep(Duration::from_millis(10));
     }
-    // The watcher trips the token before the run unwinds; the trip is
+    // The reactor trips the token before the run unwinds; the trip is
     // only counted once the (doomed) response renders, so keep polling.
     while service.counters.budget_trips.load(Ordering::Relaxed) == 0 {
         assert!(
@@ -346,6 +382,194 @@ fn multi_program_requests_split_the_budget_and_run_readonly() {
         &query_body("Z <- COPY(T)"),
     );
     assert!(!resp.contains("\"name\":\"Z\",\"height\":2"), "{resp}");
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let (addr, service) = start(None, None);
+    let session = open_session(addr);
+    upload(addr, &session, "A,X\nr,a\n");
+
+    // Send a pipelined burst — several complete requests in one write,
+    // no reads in between. Each query commits a distinctly named table
+    // so the responses are distinguishable.
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut burst = String::new();
+    for i in 0..5 {
+        let body = query_body(&format!("Pipe{i} <- COPY(A)"));
+        burst.push_str(&format!(
+            "POST /sessions/{session}/query HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+    }
+    writer.write_all(burst.as_bytes()).unwrap();
+    writer.flush().unwrap();
+
+    for i in 0..5 {
+        let (status, body) = read_response(&mut reader);
+        assert_eq!(status, 200, "response {i}: {body}");
+        assert!(
+            body.contains(&format!("\"name\":\"Pipe{i}\"")),
+            "response {i} out of order: {body}"
+        );
+    }
+    // The commits landed in request order: the last state holds Pipe4.
+    let (status, body) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{session}/query"),
+        &query_body("Z <- COPY(Pipe4)"),
+    );
+    assert_eq!(status, 200);
+    assert!(body.contains("\"name\":\"Z\",\"height\":1"), "{body}");
+    // And the reactor observed the burst as pipelining.
+    assert!(
+        service.counters.pipelined_requests.load(Ordering::Relaxed) >= 1,
+        "pipelined burst not counted"
+    );
+}
+
+#[test]
+fn chunked_transfer_encoding_is_rejected_with_501() {
+    let (addr, _) = start(None, None);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(
+            b"POST /sessions HTTP/1.1\r\nhost: t\r\ntransfer-encoding: chunked\r\n\r\n\
+              5\r\nhello\r\n0\r\n\r\n",
+        )
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 501"), "{raw:?}");
+    assert!(
+        json::parse(raw.split("\r\n\r\n").nth(1).unwrap_or("")).is_ok(),
+        "501 body is JSON: {raw:?}"
+    );
+    // The connection closed (the stream past the refused body is
+    // unframed) and the server is still alive for others.
+    let (status, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn slow_loris_does_not_stall_other_clients() {
+    let (addr, _) = start(None, None);
+    let session = open_session(addr);
+    upload(addr, &session, "A,X\nr,a\n");
+
+    // The loris: trickle a never-ending request head a chunk at a
+    // time. The reactor must keep serving others and eventually close
+    // this connection via the 16KiB head cap.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    let loris_probe = std::thread::spawn(move || {
+        let pad = format!("x-pad: {}\r\n", "a".repeat(2048));
+        // Trickle header chunks; the 50ms read timeout between chunks
+        // is both the pacing and the poll for the server's verdict
+        // (reading eagerly avoids racing an RST against the buffered
+        // 413 once the server closes).
+        let _ = loris.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut raw = Vec::new();
+        let mut buf = [0u8; 4096];
+        for _ in 0..10 {
+            if loris.write_all(pad.as_bytes()).is_err() {
+                break; // already shut by the head cap
+            }
+            match loris.read(&mut buf) {
+                Ok(n) if n > 0 => {
+                    raw.extend_from_slice(&buf[..n]);
+                    break;
+                }
+                Ok(_) => break, // EOF
+                Err(_) => {}    // timeout: keep trickling
+            }
+        }
+        // More than MAX_HEAD bytes are in (or the write broke): the
+        // server must have answered 413 and closed, not hung.
+        let _ = loris.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut rest = Vec::new();
+        let _ = loris.read_to_end(&mut rest);
+        raw.extend_from_slice(&rest);
+        String::from_utf8_lossy(&raw).into_owned()
+    });
+
+    // Meanwhile, a well-behaved client's latencies stay bounded.
+    let query_path = format!("/sessions/{session}/query?readonly=1");
+    let body = query_body("T <- COPY(A)");
+    let mut worst = Duration::ZERO;
+    let started = Instant::now();
+    while started.elapsed() < Duration::from_millis(500) {
+        let t0 = Instant::now();
+        let (status, _) = http(addr, "POST", &query_path, &body);
+        assert_eq!(status, 200);
+        worst = worst.max(t0.elapsed());
+    }
+    assert!(
+        worst < Duration::from_secs(2),
+        "a stalled head delayed other clients: worst {worst:?}"
+    );
+
+    let raw = loris_probe.join().unwrap();
+    assert!(
+        raw.starts_with("HTTP/1.1 413"),
+        "loris connection should die on the head cap: {raw:?}"
+    );
+}
+
+#[test]
+fn stats_reports_reactor_counters() {
+    let (addr, _) = start(None, None);
+    // Hold one keep-alive connection open while asking for stats.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    // Pipeline two stats requests on the held connection so the
+    // pipelining counter moves too.
+    writer
+        .write_all(b"GET /stats HTTP/1.1\r\nhost: t\r\n\r\nGET /stats HTTP/1.1\r\nhost: t\r\n\r\n")
+        .unwrap();
+    let (status, _first) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    let (status, body) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    let stats = json::parse(&body).unwrap();
+    let num = |k: &str| {
+        stats
+            .get(k)
+            .and_then(json::Json::as_num)
+            .unwrap_or_else(|| panic!("stats missing {k}: {body}"))
+    };
+    assert!(num("connections_open") >= 1.0, "{body}");
+    assert!(num("connections_accepted") >= 1.0, "{body}");
+    assert!(num("worker_busy_us") >= 0.0, "{body}");
+    assert!(num("reactor_busy_us") >= 0.0, "{body}");
+    // The two stats requests above went out back-to-back: by the time
+    // the second rendered, it had been parsed behind the first.
+    assert!(num("pipelined_requests") >= 1.0, "{body}");
+
+    // Closing the held connection eventually drops the gauge.
+    drop(reader);
+    drop(writer);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (_, body) = http(addr, "GET", "/stats", "");
+        let open = json::parse(&body)
+            .unwrap()
+            .get("connections_open")
+            .unwrap()
+            .as_num()
+            .unwrap();
+        // The probe's own connection is open while it asks.
+        if open <= 1.0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "gauge never dropped: {body}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }
 
 #[test]
