@@ -28,6 +28,7 @@ mod reactor;
 pub mod service;
 pub mod session;
 
+pub use reactor::{MAX_BUF, MAX_PIPELINE};
 pub use service::{Config, Response, Service};
 
 use std::net::{SocketAddr, TcpListener};

@@ -23,15 +23,24 @@
 //! parallelism comes from having many connections, not from reordering
 //! one connection's stream.
 //!
-//! **Disconnect detection.** `EPOLLRDHUP` (or a 0-byte read) on a
-//! connection with in-flight or queued work trips the in-flight run's
-//! [`CancelToken`] directly and counts a `disconnect_cancels` — the
-//! per-request watcher thread and its 1ms `peek` poll are gone.
+//! **Disconnect detection.** `EPOLLRDHUP` (or a 0-byte read) only
+//! says the peer is done *sending*; its read side may still be open
+//! (`shutdown(SHUT_WR)` after a pipelined burst is a legitimate HTTP
+//! pattern). So EOF with fully-received requests still queued serves
+//! the queue and then closes, like `Connection: close`. Only a
+//! connection whose in-flight run is the last thing it asked for —
+//! nothing else parsed or parseable — is treated as a mid-run
+//! disconnect: the run's [`CancelToken`] trips directly and a
+//! `disconnect_cancels` is counted. The per-request watcher thread
+//! and its 1ms `peek` poll are gone either way.
 //!
-//! **Backpressure.** Readiness is level-triggered. A connection that
-//! has [`MAX_PIPELINE`] requests queued has its `EPOLLIN` interest
-//! dropped until responses drain, so a flooding client is bounded by
-//! its own unserved queue, and a head that exceeds the
+//! **Backpressure.** Readiness is level-triggered, and reading is
+//! gated on two caps. A connection with [`MAX_PIPELINE`] parsed
+//! requests queued, or more than [`MAX_BUF`] buffered-but-unparsed
+//! bytes, has its `EPOLLIN` interest dropped until responses drain —
+//! so a flooding client is bounded by its own unserved queue in both
+//! requests *and* bytes, with the overflow left in the kernel socket
+//! buffers it owns. A head that exceeds the
 //! [`http::MAX_HEAD`](crate::http::MAX_HEAD) cap without terminating
 //! is rejected with 413 — which is what eventually closes a slow-loris
 //! connection without ever occupying a worker.
@@ -130,6 +139,14 @@ const WAKE_KEY: u64 = u64::MAX - 1;
 /// Parsed-but-unserved requests a single connection may queue before
 /// its `EPOLLIN` interest is dropped (read backpressure).
 pub const MAX_PIPELINE: usize = 64;
+
+/// Unparsed inbound bytes a connection may buffer before the reactor
+/// stops reading from it (byte-level backpressure; without it a fast
+/// sender could grow the buffer without limit while the pipeline cap
+/// admits one request per completion). Strictly larger than one
+/// maximal request so a parse paused at the pipeline cap can always
+/// make progress once the queue drains.
+pub const MAX_BUF: usize = http::MAX_HEAD + http::MAX_BODY + 64 * 1024;
 
 const MAX_EVENTS: usize = 256;
 
@@ -454,6 +471,11 @@ impl Reactor {
                 // cancelled); drop the orphaned response.
                 _ => continue,
             }
+            // The completion freed pipeline capacity; requests beyond
+            // the cap may be sitting unparsed in `buf` with `EPOLLIN`
+            // dropped and the socket already drained — this is their
+            // only way forward. (`flush` then re-arms interest.)
+            self.parse_some(slot);
             self.pump(slot);
             self.flush(slot);
         }
@@ -467,7 +489,10 @@ impl Reactor {
             let Some(conn) = conn_at(&mut self.conns, slot) else {
                 return;
             };
-            if conn.read_closed || conn.saw_eof {
+            if conn.read_closed || conn.saw_eof || conn.buf.len() >= MAX_BUF {
+                // At the byte cap the rest stays in the kernel socket
+                // buffer; `update_interest` drops `EPOLLIN` until
+                // parsing frees space.
                 break;
             }
             match conn.stream.read(&mut scratch) {
@@ -557,6 +582,14 @@ impl Reactor {
                 cancel,
             });
         } else if conn.read_closed || conn.saw_eof {
+            // Bytes still buffered at EOF (with parsing not otherwise
+            // shut off) are a truncated head that can never complete:
+            // the 400 goes out behind whatever was served.
+            if conn.saw_eof && !conn.read_closed && !conn.buf.is_empty() && conn.fail.is_none() {
+                let body = error_body("truncated request head");
+                conn.fail = Some(http::encode_response(400, body.as_bytes(), false));
+                conn.buf.clear();
+            }
             if let Some(fail) = conn.fail.take() {
                 conn.out.extend_from_slice(&fail);
             }
@@ -601,25 +634,27 @@ impl Reactor {
     }
 
     /// The peer's write side closed (`EPOLLRDHUP` or a 0-byte read).
-    /// With work in flight or queued this is a mid-run disconnect:
-    /// cancel and drop. An idle connection just closes; a truncated
-    /// request head gets its 400 on the way out.
+    /// That alone does not mean the responses are unwanted — a client
+    /// may pipeline requests and `shutdown(SHUT_WR)` while reading —
+    /// so fully-received requests are still served, after which the
+    /// connection closes as if the last request said `Connection:
+    /// close` (a truncated trailing head gets its 400 on the way out,
+    /// from `pump`). Only an in-flight run with nothing further queued
+    /// or parseable is a true mid-run disconnect: cancel and drop.
     fn on_hangup(&mut self, slot: usize) {
-        {
+        // Parse what the final reads delivered so the cancel-vs-drain
+        // decision sees every fully-received request.
+        self.parse_some(slot);
+        let cancel_mid_run = {
             let Some(conn) = conn_at(&mut self.conns, slot) else {
                 return;
             };
-            if conn.in_flight.is_some() || !conn.pending.is_empty() {
-                self.destroy(slot);
-                return;
-            }
             conn.saw_eof = true;
-            if !conn.buf.is_empty() && !conn.read_closed && conn.fail.is_none() {
-                let body = error_body("truncated request head");
-                conn.fail = Some(http::encode_response(400, body.as_bytes(), false));
-                conn.buf.clear();
-            }
-            conn.read_closed = true;
+            conn.in_flight.is_some() && conn.pending.is_empty()
+        };
+        if cancel_mid_run {
+            self.destroy(slot);
+            return;
         }
         self.pump(slot);
         self.flush(slot);
@@ -632,7 +667,11 @@ impl Reactor {
             return;
         };
         let mut want = 0;
-        if !conn.read_closed && !conn.saw_eof && conn.pending.len() < MAX_PIPELINE {
+        if !conn.read_closed
+            && !conn.saw_eof
+            && conn.pending.len() < MAX_PIPELINE
+            && conn.buf.len() < MAX_BUF
+        {
             want |= EPOLLIN;
         }
         if !conn.saw_eof {

@@ -6,16 +6,18 @@
 //! watcher thread); a deadline trip answers 408 with the partial
 //! stats the governor carries; malformed bodies are the client's
 //! error (400), never the server's (500); chunked transfer encoding
-//! is refused with 501; pipelined requests are answered in order; and
-//! one slow-loris connection cannot stall other clients.
+//! is refused with 501; pipelined requests are answered in order even
+//! past the pipeline and byte backpressure caps; a client that
+//! half-closes after a burst still gets its queued responses; and one
+//! slow-loris connection cannot stall other clients.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tabular_server::{json, Config, Server, Service};
+use tabular_server::{json, Config, Server, Service, MAX_BUF, MAX_PIPELINE};
 
 fn start(
     default_deadline_ms: Option<u64>,
@@ -430,6 +432,114 @@ fn pipelined_requests_are_answered_in_order() {
         service.counters.pipelined_requests.load(Ordering::Relaxed) >= 1,
         "pipelined burst not counted"
     );
+}
+
+#[test]
+fn pipeline_deeper_than_the_cap_drains_completely() {
+    // Regression: once MAX_PIPELINE requests were parsed, followers
+    // already drained into the connection buffer were only re-examined
+    // on socket readability — which never fires again once the kernel
+    // buffer is empty — so a burst deeper than the cap hung forever.
+    // Worker completions must re-parse the buffer.
+    let (addr, _) = start(None, None);
+    let total = MAX_PIPELINE + 36;
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    // A hang shows up as a read timeout, not a stalled CI job.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let burst = "GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n".repeat(total);
+    writer.write_all(burst.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    for i in 0..total {
+        let (status, body) = read_response(&mut reader);
+        assert_eq!(status, 200, "response {i} of {total}: {body}");
+    }
+}
+
+#[test]
+fn half_close_after_pipelined_burst_still_serves_the_queue() {
+    // shutdown(SHUT_WR) after a pipelined burst closes only the
+    // client's send side; the requests were fully received and the
+    // client is still reading. Regression: the reactor treated the
+    // hangup as a mid-run disconnect and destroyed the connection
+    // with the queue unserved.
+    let (addr, service) = start(None, None);
+    let session = open_session(addr);
+    upload(addr, &session, "A,X\nr,a\n");
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut burst = String::new();
+    for i in 0..3 {
+        let body = query_body(&format!("Half{i} <- COPY(A)"));
+        burst.push_str(&format!(
+            "POST /sessions/{session}/query HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+    }
+    writer.write_all(burst.as_bytes()).unwrap();
+    writer.shutdown(Shutdown::Write).unwrap();
+    for i in 0..3 {
+        let (status, body) = read_response(&mut reader);
+        assert_eq!(status, 200, "response {i} after half-close: {body}");
+        assert!(
+            body.contains(&format!("\"name\":\"Half{i}\"")),
+            "response {i} out of order: {body}"
+        );
+    }
+    // With the queue served the server closes the connection …
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "bytes after the final response: {rest:?}");
+    // … and none of this counted as a mid-run disconnect.
+    assert_eq!(
+        service.counters.disconnect_cancels.load(Ordering::Relaxed),
+        0,
+        "half-close cancelled a run"
+    );
+}
+
+#[test]
+fn flood_past_the_byte_cap_is_fully_served() {
+    // A sender that outpaces the worker pool parks at the reactor's
+    // unparsed-byte cap (EPOLLIN drops until parsing frees space)
+    // instead of growing the connection buffer without bound — and
+    // everything it sent must still be answered as the queue drains.
+    let (addr, _) = start(None, None);
+    let pad = "x".repeat(4096);
+    let request = format!(
+        "POST /healthz HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{pad}",
+        pad.len()
+    );
+    let total = MAX_BUF / request.len() + 64;
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    // The writer must be its own thread: once the cap is reached the
+    // server stops reading and the socket buffers fill, so the flood
+    // blocks until responses are consumed on this side.
+    let flood = std::thread::spawn(move || {
+        for _ in 0..total {
+            writer.write_all(request.as_bytes()).unwrap();
+        }
+        writer
+    });
+    for i in 0..total {
+        let (status, _) = read_response(&mut reader);
+        assert_eq!(status, 405, "response {i} of {total}");
+    }
+    drop(flood.join().unwrap());
 }
 
 #[test]
